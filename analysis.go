@@ -1,0 +1,81 @@
+package sprout
+
+import (
+	"fmt"
+
+	"sprout/internal/board"
+	"sprout/internal/extract"
+	"sprout/internal/geom"
+	"sprout/internal/route"
+	"sprout/internal/thermal"
+)
+
+// DCResult bundles the distributed-load DC and thermal view of one routed
+// rail: the IR-drop field under the paper's §III-C loading model plus the
+// steady-state temperature-rise map (§I, Table I lists current density and
+// temperature among power-routing constraints).
+type DCResult struct {
+	Operating *extract.OperatingPoint
+	Thermal   *thermal.Map
+	// MinLoadVoltage is VSupply minus the worst load drop.
+	MinLoadVoltage float64
+}
+
+// RailDC solves the rail's DC operating point (PMIC sources the net
+// current, every other terminal group sinks its weighted share) and the
+// resulting thermal map. vSupply scales the reported minimum voltage.
+func RailDC(b *board.Board, layer int, rail RailResult, vSupply float64) (*DCResult, error) {
+	net, err := b.Net(rail.Net)
+	if err != nil {
+		return nil, err
+	}
+	groups := b.GroupsOn(rail.Net, layer)
+	var source *route.Terminal
+	var loads []route.Terminal
+	for _, g := range groups {
+		term := route.Terminal{Name: g.Name, Shape: g.Shape(), Current: g.Current}
+		if g.Kind == board.KindPMIC && source == nil {
+			src := term
+			source = &src
+			continue
+		}
+		loads = append(loads, term)
+	}
+	if source == nil {
+		return nil, fmt.Errorf("sprout: net %s has no PMIC group on layer %d", net.Name, layer)
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("sprout: net %s has no load groups on layer %d", net.Name, layer)
+	}
+	totalA := net.Current
+	if totalA <= 0 {
+		totalA = 1
+	}
+	layerInfo := b.Stackup.Layer(layer)
+	exOpt := extract.Options{
+		SheetOhms: layerInfo.SheetResistance(),
+		HeightUM:  b.Stackup.DistanceToPlaneUM(layer),
+	}
+	shape := rail.Route.Shape.Union(termShapes(source, loads))
+	op, err := extract.DCOperate(shape, *source, loads, totalA, exOpt)
+	if err != nil {
+		return nil, fmt.Errorf("sprout: net %s DC: %w", net.Name, err)
+	}
+	tm, err := thermal.Simulate(op, exOpt.SheetOhms, thermal.Options{CopperUM: layerInfo.CopperUM})
+	if err != nil {
+		return nil, fmt.Errorf("sprout: net %s thermal: %w", net.Name, err)
+	}
+	return &DCResult{
+		Operating:      op,
+		Thermal:        tm,
+		MinLoadVoltage: vSupply - op.MaxDropV,
+	}, nil
+}
+
+func termShapes(source *route.Terminal, loads []route.Terminal) geom.Region {
+	u := source.Shape
+	for _, l := range loads {
+		u = u.Union(l.Shape)
+	}
+	return u
+}

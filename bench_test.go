@@ -1,0 +1,335 @@
+// Benchmarks regenerate the computational core of every table and figure
+// in the paper's evaluation:
+//
+//	BenchmarkTableIITwoRail       — Table II / Fig. 9: two-rail SPROUT+manual+extraction
+//	BenchmarkTableIIISixRail      — Table III / Fig. 10: six-rail congested board
+//	BenchmarkTableIVSweepLayout   — Table IV / Fig. 11: one exploration layout (row 5)
+//	BenchmarkFig12Analysis        — Fig. 12b-d: PDN transient + AC + guideline per rail
+//	BenchmarkFig8Stages           — Fig. 8: seed→grow→refine demonstration scene
+//	BenchmarkMultilayerPlan       — Figs. 5/13 + Alg. 6: via planning and decomposition
+//	BenchmarkSpaceToGraph         — Alg. 1: tiling the two-rail available space
+//	BenchmarkNodeCurrents         — Alg. 3: one node-current evaluation (the 90% cost)
+//	BenchmarkSeed                 — Alg. 2: pairwise Dijkstra + void filling
+//	BenchmarkExtraction           — §III impedance extraction of a routed shape
+//	BenchmarkRegionBoolean        — the Eq. 1 clipping substrate
+//	BenchmarkAblationReheat       — §II-F reheat on/off at equal budget
+//	BenchmarkDCOperateAndThermal  — E11 extension: distributed-load DC + thermal map
+//	BenchmarkDecapPlan            — greedy decap selection against a target mask
+//	BenchmarkPreconditioners      — Jacobi vs IC(0) CG on a tile-graph Laplacian (§II-H)
+//	BenchmarkGerberWrite          — RS-274X output of a routed shape
+//
+// Run with: go test -bench=. -benchmem
+package sprout_test
+
+import (
+	"testing"
+
+	"sprout"
+	"sprout/internal/cases"
+	"sprout/internal/ckt"
+	"sprout/internal/decap"
+	"sprout/internal/experiments"
+	"sprout/internal/extract"
+	"sprout/internal/geom"
+	"sprout/internal/gerber"
+	"sprout/internal/route"
+	"sprout/internal/sparse"
+	"sprout/internal/thermal"
+)
+
+func benchRouteCase(b *testing.B, cs *cases.CaseStudy, manual bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sprout.RouteBoard(cs.Board, sprout.RouteOptions{
+			Layer:      cs.RoutingLayer,
+			Budgets:    cs.Budgets,
+			Config:     cs.Config,
+			WithManual: manual,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rails) == 0 {
+			b.Fatal("no rails")
+		}
+	}
+}
+
+func BenchmarkTableIITwoRail(b *testing.B) {
+	cs, err := cases.TwoRail()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRouteCase(b, cs, true)
+}
+
+func BenchmarkTableIIISixRail(b *testing.B) {
+	cs, err := cases.SixRail()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRouteCase(b, cs, true)
+}
+
+func BenchmarkTableIVSweepLayout(b *testing.B) {
+	cs, err := cases.ThreeRail(cases.Table4()[4])
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRouteCase(b, cs, false)
+}
+
+func BenchmarkFig12Analysis(b *testing.B) {
+	rep := &extract.Report{ResistanceOhms: 0.0007, InductancePH: 90}
+	net := sprout.Net{Name: "MODEM", Current: 4, SlewTimeNS: 4}
+	decaps := []sprout.Decap{ckt.DefaultDecap(), ckt.DefaultDecap()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sprout.AnalyzeRail(rep, net, 1.0, decaps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Stages(b *testing.B) {
+	avail, terms := cases.Fig8Scene()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.Route(avail, terms, route.Config{
+			DX: 4, DY: 4, AreaMax: 4000, ReheatDilations: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultilayerPlan(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMultilayer(""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// twoRailSpace returns the VDD1 available space and terminals of the
+// two-rail board for the micro-benchmarks.
+func twoRailSpace(b *testing.B) (geom.Region, []route.Terminal) {
+	b.Helper()
+	cs, err := cases.TwoRail()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := cs.Board.Nets[0]
+	avail := cs.Board.AvailableSpace(net.ID, cs.RoutingLayer)
+	var terms []route.Terminal
+	for _, g := range cs.Board.GroupsOn(net.ID, cs.RoutingLayer) {
+		terms = append(terms, route.Terminal{Name: g.Name, Shape: g.Shape(), Current: g.Current})
+	}
+	return avail, terms
+}
+
+func BenchmarkSpaceToGraph(b *testing.B) {
+	avail, terms := twoRailSpace(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.BuildTileGraph(avail, terms, 5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeCurrents(b *testing.B) {
+	avail, terms := twoRailSpace(b)
+	tg, err := route.BuildTileGraph(avail, terms, 5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := make([]bool, tg.G.N())
+	for i := range members {
+		members[i] = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tg.NodeCurrents(members, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeed(b *testing.B) {
+	avail, terms := twoRailSpace(b)
+	tg, err := route.BuildTileGraph(avail, terms, 5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tg.Seed(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtraction(b *testing.B) {
+	avail, terms := twoRailSpace(b)
+	res, err := route.Route(avail, terms, route.Config{DX: 5, DY: 5, AreaMax: 6000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shape := res.Shape
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := extract.Extract(shape, terms, extract.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegionBoolean(b *testing.B) {
+	// The Eq. 1 workload: outline minus hundreds of buffered pads.
+	outline := geom.RegionFromRect(geom.R(0, 0, 320, 300))
+	var pads []geom.Region
+	for x := int64(58); x < 270; x += 8 {
+		for y := int64(66); y < 250; y += 16 {
+			pads = append(pads, geom.RegionFromRect(geom.RectAround(geom.Pt(x, y), 2)))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avail := outline
+		for _, p := range pads {
+			avail = avail.Subtract(p.Bloat(1))
+		}
+		if avail.Empty() {
+			b.Fatal("space vanished")
+		}
+	}
+}
+
+func BenchmarkDCOperateAndThermal(b *testing.B) {
+	avail, terms := twoRailSpace(b)
+	res, err := route.Route(avail, terms, route.Config{DX: 5, DY: 5, AreaMax: 6000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exOpt := extract.Options{Pitch: 5, SheetOhms: 0.0005, HeightUM: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, err := extract.DCOperate(res.Shape, terms[0], terms[1:], 4, exOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := thermal.Simulate(op, exOpt.SheetOhms, thermal.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecapPlan(b *testing.B) {
+	mask := ckt.TargetMask{
+		{FreqHz: 1e4, LimitOhms: 0.008},
+		{FreqHz: 1e6, LimitOhms: 0.008},
+		{FreqHz: 1e8, LimitOhms: 0.8},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := decap.Plan(0.002, 2e-9, decap.StandardKit(), mask, decap.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Report.Pass {
+			b.Fatal("plan must pass in the benchmark scenario")
+		}
+	}
+}
+
+func BenchmarkPreconditioners(b *testing.B) {
+	avail, terms := twoRailSpace(b)
+	tg, err := route.BuildTileGraph(avail, terms, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wedges []sparse.WeightedEdge
+	for _, e := range tg.G.Edges() {
+		wedges = append(wedges, sparse.WeightedEdge{U: e.U, V: e.V, W: e.Weight})
+	}
+	lap, err := sparse.NewLaplacian(tg.G.N(), wedges, tg.Terminals[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	mat := lap.Matrix()
+	rhs := make([]float64, mat.Dim())
+	rhs[0] = 1
+	b.Run("jacobi", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sparse.CG(mat, rhs, nil, sparse.CGOptions{Precond: mat.Diag()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ic0", func(b *testing.B) {
+		ic, err := sparse.NewIC0(mat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sparse.CG(mat, rhs, nil, sparse.CGOptions{Apply: ic.Apply}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGerberWrite(b *testing.B) {
+	avail, terms := twoRailSpace(b)
+	res, err := route.Route(avail, terms, route.Config{DX: 5, DY: 5, AreaMax: 6000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := []gerber.NetCopper{{Name: "VDD1", Copper: res.Shape}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink countingWriter
+		if err := gerber.Write(&sink, "bench", nets, gerber.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingWriter int64
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
+}
+
+func BenchmarkAblationReheat(b *testing.B) {
+	avail, terms := cases.Fig8Scene()
+	for _, cfg := range []struct {
+		name    string
+		dilates int
+	}{{"off", 0}, {"on", 3}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := route.Route(avail, terms, route.Config{
+					DX: 4, DY: 4, AreaMax: 4000, ReheatDilations: cfg.dilates,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

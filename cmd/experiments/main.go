@@ -1,0 +1,70 @@
+// Command experiments regenerates every table and figure of the SPROUT
+// paper's evaluation section. Without flags it runs everything; -exp
+// selects one experiment. -out writes layout SVGs (Figs. 8-11, 13) to a
+// directory.
+//
+// Usage:
+//
+//	experiments [-exp fig8|table2|table3|table4|fig12|multilayer|runtime|ablation|all] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sprout/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig8, table2, table3, table4, fig12, multilayer, runtime, ablation, heatmaps, all)")
+	out := flag.String("out", "", "directory for layout SVGs (created if missing)")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	w := os.Stdout
+	var err error
+	switch *exp {
+	case "all":
+		err = experiments.All(w, *out)
+	case "fig8":
+		_, err = experiments.Fig8(w, *out)
+	case "table2":
+		_, err = experiments.Table2(w, *out)
+	case "table3":
+		_, err = experiments.Table3(w, *out)
+	case "table4", "fig11":
+		var sweep *experiments.SweepResult
+		sweep, err = experiments.RunSweep(*out)
+		if err == nil {
+			err = experiments.Table4(w, sweep)
+		}
+	case "fig12":
+		var sweep *experiments.SweepResult
+		sweep, err = experiments.RunSweep(*out)
+		if err == nil {
+			err = experiments.Fig12(w, sweep)
+		}
+	case "multilayer":
+		_, err = experiments.Multilayer(w, *out)
+	case "runtime":
+		_, err = experiments.Runtime(w)
+	case "ablation":
+		_, err = experiments.Ablation(w)
+	case "heatmaps":
+		_, err = experiments.Heatmaps(w, *out)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,292 @@
+// Command sprout synthesizes the power-network copper of a board: either
+// one of the built-in case studies or a JSON board document (see
+// internal/boardio for the schema). It prints a per-rail impedance report
+// and optionally writes layout SVGs and the routed-board JSON.
+//
+// Usage:
+//
+//	sprout -case tworail|sixrail|threerail [-manual] [-out dir]
+//	sprout -board my_board.json [-manual] [-out dir]
+//	sprout -case tworail -dump-board board.json   (export the case as JSON)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sprout"
+	"sprout/internal/board"
+	"sprout/internal/boardio"
+	"sprout/internal/cases"
+	"sprout/internal/drc"
+	"sprout/internal/extract"
+	"sprout/internal/gerber"
+	"sprout/internal/report"
+	"sprout/internal/route"
+	"sprout/internal/svgout"
+)
+
+func main() {
+	caseName := flag.String("case", "", "built-in case study: tworail, sixrail, threerail")
+	boardPath := flag.String("board", "", "JSON board document to route")
+	withManual := flag.Bool("manual", false, "also route the manual-designer baseline")
+	outDir := flag.String("out", "", "directory for layout SVGs")
+	dumpBoard := flag.String("dump-board", "", "write the selected case as a JSON board document and exit")
+	runDRC := flag.Bool("drc", false, "audit the routed layout against the design rules")
+	gerberPath := flag.String("gerber", "", "write the routed copper as an RS-274X Gerber layer file")
+	multilayer := flag.Bool("multilayer", false, "route across all routable layers with via planning (Appendix Alg. 6)")
+	flag.Parse()
+
+	if err := run(*caseName, *boardPath, *withManual, *outDir, *dumpBoard, *runDRC, *gerberPath, *multilayer); err != nil {
+		fmt.Fprintln(os.Stderr, "sprout:", err)
+		os.Exit(1)
+	}
+}
+
+func run(caseName, boardPath string, withManual bool, outDir, dumpBoard string, runDRC bool, gerberPath string, multilayer bool) error {
+	var (
+		b       *board.Board
+		layer   int
+		budgets map[board.NetID]int64
+		cfg     route.Config
+	)
+	switch {
+	case caseName != "" && boardPath != "":
+		return fmt.Errorf("use either -case or -board, not both")
+	case caseName != "":
+		cs, err := loadCase(caseName)
+		if err != nil {
+			return err
+		}
+		b, layer, budgets, cfg = cs.Board, cs.RoutingLayer, cs.Budgets, cs.Config
+	case boardPath != "":
+		f, err := os.Open(boardPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dec, err := boardio.Decode(f)
+		if err != nil {
+			return err
+		}
+		b, layer, budgets, cfg = dec.Board, dec.RoutingLayer, dec.Budgets, dec.Config
+	default:
+		return fmt.Errorf("select a board with -case or -board")
+	}
+
+	if dumpBoard != "" {
+		f, err := os.Create(dumpBoard)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := boardio.Encode(f, b, layer, budgets); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", dumpBoard)
+		return nil
+	}
+
+	if multilayer {
+		return runMultilayer(b, budgets, cfg, outDir)
+	}
+
+	start := time.Now()
+	res, err := sprout.RouteBoard(b, sprout.RouteOptions{
+		Layer:      layer,
+		Budgets:    budgets,
+		Config:     cfg,
+		WithManual: withManual,
+	})
+	if err != nil {
+		return err
+	}
+
+	cols := []string{"Net", "budget", "area", "R (mΩ)", "L @25MHz (pH)", "max J (A/unit)"}
+	if withManual {
+		cols = append(cols, "manual R (mΩ)", "manual L (pH)")
+	}
+	t := report.NewTable(fmt.Sprintf("%s — layer %d — synthesized in %v",
+		b.Name, layer, time.Since(start).Round(time.Millisecond)), cols...)
+	for _, rail := range res.Rails {
+		row := []interface{}{
+			rail.Name, rail.Budget, rail.Route.Shape.Area(),
+			rail.Extract.ResistanceOhms * 1e3,
+			rail.Extract.InductancePH,
+			rail.Extract.MaxCurrentDensity,
+		}
+		if withManual {
+			row = append(row, rail.ManualExtract.ResistanceOhms*1e3, rail.ManualExtract.InductancePH)
+		}
+		t.AddRow(row...)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if runDRC {
+		violations := sprout.Audit(res, sprout.DRCLimits{MinWidth: cfg.DX})
+		if len(violations) == 0 {
+			fmt.Println("\nDRC: clean")
+		} else {
+			fmt.Printf("\nDRC: %d finding(s)\n", len(violations))
+			for _, v := range violations {
+				fmt.Println(" ", v)
+			}
+			if len(drc.Errors(violations)) > 0 {
+				return fmt.Errorf("DRC errors present")
+			}
+		}
+	}
+
+	if gerberPath != "" {
+		f, err := os.Create(gerberPath)
+		if err != nil {
+			return err
+		}
+		var nets []gerber.NetCopper
+		for _, rail := range res.Rails {
+			nets = append(nets, gerber.NetCopper{Name: rail.Name, Copper: rail.Route.Shape})
+		}
+		layerName := fmt.Sprintf("%s-L%d", b.Name, layer)
+		if err := gerber.Write(f, layerName, nets, gerber.Options{
+			Comment:   "synthesized by sprout",
+			Timestamp: time.Now(),
+		}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", gerberPath)
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		if err := renderLayout(res, filepath.Join(outDir, "layout.svg")); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", filepath.Join(outDir, "layout.svg"))
+	}
+	return nil
+}
+
+// runMultilayer routes every net across all routable layers and reports
+// per-layer copper, placed vias, and the via parasitic estimates.
+func runMultilayer(b *board.Board, budgets map[board.NetID]int64, cfg route.Config, outDir string) error {
+	start := time.Now()
+	res, err := sprout.RouteBoardMultilayer(b, sprout.MLRouteOptions{
+		Budgets: budgets,
+		Config:  cfg,
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("%s — multilayer — synthesized in %v",
+		b.Name, time.Since(start).Round(time.Millisecond)),
+		"Net", "vias", "layer", "copper units²", "via R (mΩ)", "via L (pH)")
+	spec := extract.ViaSpec{DrillUM: 200, PlatingUM: 25, LengthUM: totalSpanUM(b)}
+	for _, nr := range res.Nets {
+		var layers []int
+		for l := range nr.Copper {
+			layers = append(layers, l)
+		}
+		sort.Ints(layers)
+		for i, layer := range layers {
+			viaR, viaL := "-", "-"
+			viaCount := ""
+			if i == 0 && len(nr.Vias) > 0 {
+				r, l, err := extract.ViaArray(spec, len(nr.Vias))
+				if err == nil {
+					viaR = fmt.Sprintf("%.3g", r*1e3)
+					viaL = fmt.Sprintf("%.3g", l)
+				}
+				viaCount = fmt.Sprintf("%d", len(nr.Vias))
+			}
+			t.AddRow(nr.Name, viaCount, layer, nr.Copper[layer].Area(), viaR, viaL)
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		palette := []string{"#c02020", "#2060c0", "#20a040", "#c08020"}
+		for _, layer := range b.RoutableLayers() {
+			c := svgout.New(b.Outline)
+			c.Rect(b.Outline, svgout.Style{Fill: "#f8f8f4", Stroke: "#333", StrokeWidth: 1})
+			for _, o := range b.Obstacle {
+				if o.Layer == layer {
+					c.Region(o.Shape, svgout.Style{Fill: "#444", Hatch: o.Net == board.NetNone})
+				}
+			}
+			for i, nr := range res.Nets {
+				c.Region(nr.Copper[layer], svgout.Style{Fill: palette[i%len(palette)], Opacity: 0.85})
+				for _, v := range nr.Vias {
+					c.Circle(v.At, 2, svgout.Style{Fill: "#000"})
+				}
+			}
+			path := filepath.Join(outDir, fmt.Sprintf("layer%d.svg", layer))
+			if err := c.WriteFile(path); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	return nil
+}
+
+// totalSpanUM sums the stackup dielectric heights as the via length
+// estimate for the report.
+func totalSpanUM(b *board.Board) float64 {
+	total := 0.0
+	for _, l := range b.Stackup.Layers {
+		total += l.DielectricBelowUM
+	}
+	if total <= 0 {
+		total = 800
+	}
+	return total
+}
+
+func loadCase(name string) (*cases.CaseStudy, error) {
+	switch name {
+	case "tworail":
+		return cases.TwoRail()
+	case "sixrail":
+		return cases.SixRail()
+	case "threerail":
+		return cases.ThreeRail(cases.Table4()[4]) // the middle layout
+	}
+	return nil, fmt.Errorf("unknown case %q (want tworail, sixrail, threerail)", name)
+}
+
+func renderLayout(res *sprout.BoardResult, path string) error {
+	b := res.Board
+	c := svgout.New(b.Outline)
+	c.Rect(b.Outline, svgout.Style{Fill: "#f8f8f4", Stroke: "#333", StrokeWidth: 1})
+	palette := []string{"#c02020", "#2060c0", "#20a040", "#c08020", "#8040c0", "#209090"}
+	for _, o := range b.Obstacle {
+		if o.Layer == res.Layer {
+			c.Region(o.Shape, svgout.Style{Fill: "#444", Hatch: o.Net == board.NetNone})
+		}
+	}
+	for i, rail := range res.Rails {
+		c.Region(rail.Route.Shape, svgout.Style{Fill: palette[i%len(palette)], Opacity: 0.85})
+	}
+	for _, g := range b.Groups {
+		if g.Layer == res.Layer {
+			c.Region(g.Shape(), svgout.Style{Stroke: "#000", StrokeWidth: 0.6})
+		}
+	}
+	return c.WriteFile(path)
+}

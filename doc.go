@@ -1,0 +1,29 @@
+// Package sprout is an open-source reproduction of SPROUT — the Smart
+// Power ROUting Tool for board-level exploration and prototyping
+// (Bairamkulov, Roy, Nagarajan, Srinivas, Friedman; DAC 2021).
+//
+// SPROUT synthesizes printed-circuit-board power-network copper shapes
+// that connect a power-management IC (PMIC) to ball-grid-array (BGA) ball
+// clusters and decoupling capacitors, subject to design-rule clearances
+// and a metal-area budget, while minimizing the impedance between the
+// terminals. The pipeline follows the paper:
+//
+//   - available-space computation (Eq. 1) on an exact integer region
+//     algebra (internal/geom);
+//   - tiling into an equivalent conductance graph (Algorithm 1);
+//   - voidless seed subgraph via pairwise Dijkstra (Algorithm 2);
+//   - node-current metric via grounded-Laplacian nodal analysis
+//     (Algorithm 3, Eqs. 3-4);
+//   - SmartGrow / SmartRefine impedance descent (Algorithms 4-5);
+//   - subgraph reheating — dilation plus current-guided erosion (§II-F);
+//   - back conversion of the subgraph into copper polygons (§II-G);
+//   - multilayer via-planning decomposition (Appendix, Algorithm 6).
+//
+// This package is the facade: define a Board (stackup, nets, terminal
+// groups, blockages, design rules), call RouteBoard to synthesize every
+// rail, and read back per-rail impedance reports (DC resistance, 25 MHz
+// loop inductance), transient minimum load voltage, and the 32 nm FinFET
+// delay/power guideline mapping of the paper's Fig. 12. A deterministic
+// "manual designer" baseline (internal/manual) provides the comparison
+// column of the paper's Tables II and III.
+package sprout

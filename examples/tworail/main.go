@@ -1,0 +1,76 @@
+// Two-rail case study (paper Fig. 9 / Table II): synthesize the wireless
+// board's two power rails with SPROUT and the manual-designer baseline,
+// compare the extracted impedance of the two flows, and render both
+// layouts side by side.
+//
+// Run with: go run ./examples/tworail
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sprout"
+	"sprout/internal/board"
+	"sprout/internal/cases"
+	"sprout/internal/report"
+	"sprout/internal/svgout"
+)
+
+func main() {
+	cs, err := cases.TwoRail()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sprout.RouteBoard(cs.Board, sprout.RouteOptions{
+		Layer:      cs.RoutingLayer,
+		Budgets:    cs.Budgets,
+		Config:     cs.Config,
+		WithManual: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("Table II reproduction — two-rail wireless board",
+		"Net", "SPROUT R (mΩ)", "manual R (mΩ)", "SPROUT L (pH)", "manual L (pH)", "R ratio")
+	for _, rail := range res.Rails {
+		t.AddRow(rail.Name,
+			rail.Extract.ResistanceOhms*1e3, rail.ManualExtract.ResistanceOhms*1e3,
+			rail.Extract.InductancePH, rail.ManualExtract.InductancePH,
+			rail.Extract.ResistanceOhms/rail.ManualExtract.ResistanceOhms)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaper Table II: SPROUT within 3.1% of manual resistance; VDD1 inductance 12% lower.")
+
+	for _, variant := range []struct {
+		name   string
+		manual bool
+	}{{"tworail_sprout.svg", false}, {"tworail_manual.svg", true}} {
+		c := svgout.New(cs.Board.Outline)
+		c.Rect(cs.Board.Outline, svgout.Style{Fill: "#f8f8f4", Stroke: "#333", StrokeWidth: 1})
+		for _, o := range cs.Board.Obstacle {
+			if o.Layer == cs.RoutingLayer {
+				c.Region(o.Shape, svgout.Style{Fill: "#444", Hatch: o.Net == board.NetNone})
+			}
+		}
+		colors := []string{"#c02020", "#2060c0"}
+		for i, rail := range res.Rails {
+			shape := rail.Route.Shape
+			if variant.manual {
+				shape = rail.Manual.Shape
+			}
+			c.Region(shape, svgout.Style{Fill: colors[i%2], Opacity: 0.85})
+		}
+		for _, g := range cs.Board.Groups {
+			c.Region(g.Shape(), svgout.Style{Stroke: "#000", StrokeWidth: 0.6})
+		}
+		if err := c.WriteFile(variant.name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", variant.name)
+	}
+}

@@ -1,0 +1,117 @@
+package sprout
+
+import (
+	"fmt"
+
+	"sprout/internal/board"
+)
+
+// OrderExploration is the outcome of trying several net routing orders.
+type OrderExploration struct {
+	// Best is the winning board result.
+	Best *BoardResult
+	// BestOrder is the winning sequence.
+	BestOrder []board.NetID
+	// BestScore is the current-weighted total resistance of the winner.
+	BestScore float64
+	// Tried counts the evaluated orders.
+	Tried int
+}
+
+// ExploreNetOrders routes the board under multiple net orderings and keeps
+// the one with the lowest current-weighted total resistance. Sequential
+// routing gives earlier nets first claim on shared space, so the order is
+// a genuine design variable — this is the paper's Fig. 2 exploration loop
+// applied to a parameter the paper leaves implicit. For up to four nets
+// every permutation is tried; beyond that, all rotations of the id order.
+func ExploreNetOrders(b *board.Board, opt RouteOptions) (*OrderExploration, error) {
+	var ids []board.NetID
+	for _, n := range b.Nets {
+		if len(b.GroupsOn(n.ID, opt.Layer)) >= 2 {
+			ids = append(ids, n.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("sprout: no routable nets on layer %d", opt.Layer)
+	}
+	var orders [][]board.NetID
+	if len(ids) <= 4 {
+		orders = permutations(ids)
+	} else {
+		for shift := range ids {
+			rot := make([]board.NetID, 0, len(ids))
+			rot = append(rot, ids[shift:]...)
+			rot = append(rot, ids[:shift]...)
+			orders = append(orders, rot)
+		}
+	}
+
+	out := &OrderExploration{}
+	for _, order := range orders {
+		runOpt := opt
+		runOpt.Order = order
+		res, err := RouteBoard(b, runOpt)
+		if err != nil {
+			continue // an order that strands a later net is simply worse
+		}
+		out.Tried++
+		score, err := weightedResistance(b, res)
+		if err != nil {
+			return nil, err
+		}
+		if out.Best == nil || score < out.BestScore {
+			out.Best = res
+			out.BestScore = score
+			out.BestOrder = order
+		}
+	}
+	if out.Best == nil {
+		return nil, fmt.Errorf("sprout: no net order routed successfully")
+	}
+	return out, nil
+}
+
+// weightedResistance scores a routed board: Σ I_net · R_net, an IR-drop
+// proxy comparable across orders.
+func weightedResistance(b *board.Board, res *BoardResult) (float64, error) {
+	var score float64
+	for _, rail := range res.Rails {
+		if rail.Extract == nil {
+			return 0, fmt.Errorf("sprout: order exploration needs extraction enabled")
+		}
+		net, err := b.Net(rail.Net)
+		if err != nil {
+			return 0, err
+		}
+		w := net.Current
+		if w <= 0 {
+			w = 1
+		}
+		score += w * rail.Extract.ResistanceOhms
+	}
+	return score, nil
+}
+
+// permutations enumerates all orderings of ids (Heap's algorithm,
+// deterministic order).
+func permutations(ids []board.NetID) [][]board.NetID {
+	var out [][]board.NetID
+	perm := append([]board.NetID(nil), ids...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			out = append(out, append([]board.NetID(nil), perm...))
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+	}
+	rec(len(perm))
+	return out
+}

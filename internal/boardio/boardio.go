@@ -1,0 +1,327 @@
+// Package boardio serializes Board definitions to and from a JSON
+// interchange format, so boards can be authored by hand or by other tools
+// and routed with the sprout CLI. Geometry accepts rectangles, circles and
+// polygons; non-rectilinear shapes are snapped to the manufacturing grid on
+// load, exactly as the geometry substrate documents.
+package boardio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sprout/internal/board"
+	"sprout/internal/geom"
+	"sprout/internal/route"
+)
+
+// ShapeJSON is one geometric primitive. Exactly one field must be set.
+type ShapeJSON struct {
+	// Rect is [x0, y0, x1, y1].
+	Rect []int64 `json:"rect,omitempty"`
+	// Circle is [cx, cy, r].
+	Circle []int64 `json:"circle,omitempty"`
+	// Poly is a vertex list [[x, y], ...].
+	Poly [][2]int64 `json:"poly,omitempty"`
+}
+
+// Region converts the shape to a Region, rasterizing at pitch 1.
+func (s ShapeJSON) Region() (geom.Region, error) {
+	set := 0
+	if len(s.Rect) > 0 {
+		set++
+	}
+	if len(s.Circle) > 0 {
+		set++
+	}
+	if len(s.Poly) > 0 {
+		set++
+	}
+	if set != 1 {
+		return geom.Region{}, fmt.Errorf("boardio: shape must set exactly one of rect, circle, poly")
+	}
+	switch {
+	case len(s.Rect) > 0:
+		if len(s.Rect) != 4 {
+			return geom.Region{}, fmt.Errorf("boardio: rect needs 4 numbers, got %d", len(s.Rect))
+		}
+		return geom.RegionFromRect(geom.R(s.Rect[0], s.Rect[1], s.Rect[2], s.Rect[3])), nil
+	case len(s.Circle) > 0:
+		if len(s.Circle) != 3 {
+			return geom.Region{}, fmt.Errorf("boardio: circle needs 3 numbers, got %d", len(s.Circle))
+		}
+		return geom.Circle(geom.Pt(s.Circle[0], s.Circle[1]), s.Circle[2], 1), nil
+	default:
+		pts := make([]geom.Point, len(s.Poly))
+		for i, p := range s.Poly {
+			pts[i] = geom.Pt(p[0], p[1])
+		}
+		return geom.Polygon{V: pts}.Rasterize(1)
+	}
+}
+
+// LayerJSON mirrors board.Layer.
+type LayerJSON struct {
+	Name              string  `json:"name"`
+	CopperUM          float64 `json:"copper_um"`
+	DielectricBelowUM float64 `json:"dielectric_below_um"`
+	IsPlane           bool    `json:"is_plane,omitempty"`
+}
+
+// RulesJSON mirrors board.DesignRules.
+type RulesJSON struct {
+	Clearance int64   `json:"clearance"`
+	TileDX    int64   `json:"tile_dx"`
+	TileDY    int64   `json:"tile_dy"`
+	ViaCost   float64 `json:"via_cost"`
+}
+
+// NetJSON mirrors board.Net; budgets are carried alongside for the CLI.
+type NetJSON struct {
+	Name       string  `json:"name"`
+	Current    float64 `json:"current"`
+	SlewNS     float64 `json:"slew_ns"`
+	AreaBudget int64   `json:"area_budget,omitempty"`
+}
+
+// GroupJSON mirrors board.TerminalGroup with the net referenced by name.
+type GroupJSON struct {
+	Name    string      `json:"name"`
+	Kind    string      `json:"kind"` // pmic, bga, decap, via
+	Net     string      `json:"net"`
+	Layer   int         `json:"layer"`
+	Current float64     `json:"current"`
+	Pads    []ShapeJSON `json:"pads"`
+}
+
+// ObstacleJSON mirrors board.Obstacle; empty net means keepout.
+type ObstacleJSON struct {
+	Net   string      `json:"net,omitempty"`
+	Layer int         `json:"layer"`
+	Shape []ShapeJSON `json:"shape"`
+}
+
+// RouterJSON carries optional SPROUT pipeline tuning (see route.Config).
+type RouterJSON struct {
+	GrowNodes       int     `json:"grow_nodes,omitempty"`
+	RefineNodes     int     `json:"refine_nodes,omitempty"`
+	RefineIters     int     `json:"refine_iters,omitempty"`
+	RefineTol       float64 `json:"refine_tol,omitempty"`
+	ReheatDilations int     `json:"reheat_dilations,omitempty"`
+}
+
+// BoardJSON is the interchange document.
+type BoardJSON struct {
+	Name      string         `json:"name"`
+	Outline   []int64        `json:"outline"` // [x0, y0, x1, y1]
+	Stackup   []LayerJSON    `json:"stackup"`
+	Rules     RulesJSON      `json:"rules"`
+	Nets      []NetJSON      `json:"nets"`
+	Groups    []GroupJSON    `json:"groups"`
+	Obstacles []ObstacleJSON `json:"obstacles,omitempty"`
+	// RoutingLayer is the default layer the CLI routes on.
+	RoutingLayer int `json:"routing_layer"`
+	// Router optionally tunes the pipeline.
+	Router *RouterJSON `json:"router,omitempty"`
+}
+
+var kindNames = map[string]board.TerminalKind{
+	"pmic":  board.KindPMIC,
+	"bga":   board.KindBGA,
+	"decap": board.KindDecap,
+	"via":   board.KindVia,
+}
+
+func kindName(k board.TerminalKind) string {
+	for name, v := range kindNames {
+		if v == k {
+			return name
+		}
+	}
+	return "via"
+}
+
+// Decoded is the result of loading a board document.
+type Decoded struct {
+	Board        *board.Board
+	RoutingLayer int
+	// Budgets holds per-net area budgets from the document.
+	Budgets map[board.NetID]int64
+	// Config is the router tuning: tile sizes from the rules plus any
+	// optional "router" section of the document.
+	Config route.Config
+}
+
+// Decode reads a BoardJSON document and builds the Board.
+func Decode(r io.Reader) (*Decoded, error) {
+	var doc BoardJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("boardio: %w", err)
+	}
+	return FromJSON(&doc)
+}
+
+// FromJSON builds a Board from a parsed document.
+func FromJSON(doc *BoardJSON) (*Decoded, error) {
+	if len(doc.Outline) != 4 {
+		return nil, fmt.Errorf("boardio: outline needs 4 numbers, got %d", len(doc.Outline))
+	}
+	layers := make([]board.Layer, len(doc.Stackup))
+	for i, l := range doc.Stackup {
+		layers[i] = board.Layer{
+			Name: l.Name, CopperUM: l.CopperUM,
+			DielectricBelowUM: l.DielectricBelowUM, IsPlane: l.IsPlane,
+		}
+	}
+	rules := board.DesignRules{
+		Clearance: doc.Rules.Clearance,
+		TileDX:    doc.Rules.TileDX, TileDY: doc.Rules.TileDY,
+		ViaCost: doc.Rules.ViaCost,
+	}
+	b, err := board.New(doc.Name,
+		geom.R(doc.Outline[0], doc.Outline[1], doc.Outline[2], doc.Outline[3]),
+		board.Stackup{Layers: layers}, rules)
+	if err != nil {
+		return nil, fmt.Errorf("boardio: %w", err)
+	}
+	netOf := map[string]board.NetID{}
+	budgets := map[board.NetID]int64{}
+	for _, n := range doc.Nets {
+		if n.Name == "" {
+			return nil, fmt.Errorf("boardio: net with empty name")
+		}
+		if _, dup := netOf[n.Name]; dup {
+			return nil, fmt.Errorf("boardio: duplicate net %q", n.Name)
+		}
+		id := b.AddNet(n.Name, n.Current, n.SlewNS)
+		netOf[n.Name] = id
+		if n.AreaBudget > 0 {
+			budgets[id] = n.AreaBudget
+		}
+	}
+	for _, g := range doc.Groups {
+		kind, ok := kindNames[g.Kind]
+		if !ok {
+			return nil, fmt.Errorf("boardio: group %q has unknown kind %q", g.Name, g.Kind)
+		}
+		net, ok := netOf[g.Net]
+		if !ok {
+			return nil, fmt.Errorf("boardio: group %q references unknown net %q", g.Name, g.Net)
+		}
+		pads := make([]geom.Region, len(g.Pads))
+		for i, s := range g.Pads {
+			pads[i], err = s.Region()
+			if err != nil {
+				return nil, fmt.Errorf("boardio: group %q pad %d: %w", g.Name, i, err)
+			}
+		}
+		if err := b.AddGroup(board.TerminalGroup{
+			Name: g.Name, Kind: kind, Net: net, Layer: g.Layer,
+			Pads: pads, Current: g.Current,
+		}); err != nil {
+			return nil, fmt.Errorf("boardio: %w", err)
+		}
+	}
+	for i, o := range doc.Obstacles {
+		net := board.NetNone
+		if o.Net != "" {
+			id, ok := netOf[o.Net]
+			if !ok {
+				return nil, fmt.Errorf("boardio: obstacle %d references unknown net %q", i, o.Net)
+			}
+			net = id
+		}
+		shape := geom.EmptyRegion()
+		for j, s := range o.Shape {
+			r, err := s.Region()
+			if err != nil {
+				return nil, fmt.Errorf("boardio: obstacle %d shape %d: %w", i, j, err)
+			}
+			shape = shape.Union(r)
+		}
+		if err := b.AddObstacle(net, o.Layer, shape); err != nil {
+			return nil, fmt.Errorf("boardio: %w", err)
+		}
+	}
+	if doc.RoutingLayer < 1 || doc.RoutingLayer > b.Stackup.NumLayers() {
+		return nil, fmt.Errorf("boardio: routing_layer %d out of range [1,%d]",
+			doc.RoutingLayer, b.Stackup.NumLayers())
+	}
+	cfg := route.Config{DX: rules.TileDX, DY: rules.TileDY}
+	if doc.Router != nil {
+		cfg.GrowNodes = doc.Router.GrowNodes
+		cfg.RefineNodes = doc.Router.RefineNodes
+		cfg.RefineIters = doc.Router.RefineIters
+		cfg.RefineTol = doc.Router.RefineTol
+		cfg.ReheatDilations = doc.Router.ReheatDilations
+	}
+	return &Decoded{Board: b, RoutingLayer: doc.RoutingLayer, Budgets: budgets, Config: cfg}, nil
+}
+
+// Encode writes the Board as a BoardJSON document. Region geometry is
+// emitted as canonical rectangles.
+func Encode(w io.Writer, b *board.Board, routingLayer int, budgets map[board.NetID]int64) error {
+	doc := BoardJSON{
+		Name:    b.Name,
+		Outline: []int64{b.Outline.X0, b.Outline.Y0, b.Outline.X1, b.Outline.Y1},
+		Rules: RulesJSON{
+			Clearance: b.Rules.Clearance,
+			TileDX:    b.Rules.TileDX, TileDY: b.Rules.TileDY,
+			ViaCost: b.Rules.ViaCost,
+		},
+		RoutingLayer: routingLayer,
+	}
+	for _, l := range b.Stackup.Layers {
+		doc.Stackup = append(doc.Stackup, LayerJSON{
+			Name: l.Name, CopperUM: l.CopperUM,
+			DielectricBelowUM: l.DielectricBelowUM, IsPlane: l.IsPlane,
+		})
+	}
+	for _, n := range b.Nets {
+		doc.Nets = append(doc.Nets, NetJSON{
+			Name: n.Name, Current: n.Current, SlewNS: n.SlewTimeNS,
+			AreaBudget: budgets[n.ID],
+		})
+	}
+	for _, g := range b.Groups {
+		net, err := b.Net(g.Net)
+		if err != nil {
+			return fmt.Errorf("boardio: %w", err)
+		}
+		gj := GroupJSON{
+			Name: g.Name, Kind: kindName(g.Kind), Net: net.Name,
+			Layer: g.Layer, Current: g.Current,
+		}
+		for _, p := range g.Pads {
+			gj.Pads = append(gj.Pads, regionShapes(p)...)
+		}
+		doc.Groups = append(doc.Groups, gj)
+	}
+	for _, o := range b.Obstacle {
+		oj := ObstacleJSON{Layer: o.Layer, Shape: regionShapes(o.Shape)}
+		if o.Net != board.NetNone {
+			net, err := b.Net(o.Net)
+			if err != nil {
+				return fmt.Errorf("boardio: %w", err)
+			}
+			oj.Net = net.Name
+		}
+		doc.Obstacles = append(doc.Obstacles, oj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		return fmt.Errorf("boardio: %w", err)
+	}
+	return nil
+}
+
+func regionShapes(g geom.Region) []ShapeJSON {
+	var out []ShapeJSON
+	for _, r := range g.Rects() {
+		out = append(out, ShapeJSON{Rect: []int64{r.X0, r.Y0, r.X1, r.Y1}})
+	}
+	return out
+}

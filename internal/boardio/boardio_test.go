@@ -1,0 +1,193 @@
+package boardio
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"sprout"
+
+	"sprout/internal/board"
+	"sprout/internal/cases"
+	"sprout/internal/geom"
+)
+
+const minimalDoc = `{
+  "name": "mini",
+  "outline": [0, 0, 200, 100],
+  "stackup": [
+    {"name": "L1", "copper_um": 35, "dielectric_below_um": 100},
+    {"name": "L2", "copper_um": 35, "dielectric_below_um": 0, "is_plane": true}
+  ],
+  "rules": {"clearance": 2, "tile_dx": 10, "tile_dy": 10, "via_cost": 5},
+  "nets": [{"name": "VDD", "current": 3, "slew_ns": 5, "area_budget": 2500}],
+  "groups": [
+    {"name": "pmic", "kind": "pmic", "net": "VDD", "layer": 1, "current": 3,
+     "pads": [{"rect": [5, 40, 15, 60]}]},
+    {"name": "bga", "kind": "bga", "net": "VDD", "layer": 1, "current": 3,
+     "pads": [{"circle": [180, 50, 6]}]}
+  ],
+  "obstacles": [
+    {"layer": 1, "shape": [{"rect": [90, 0, 110, 40]}]}
+  ],
+  "routing_layer": 1
+}`
+
+func TestDecodeMinimal(t *testing.T) {
+	dec, err := Decode(strings.NewReader(minimalDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dec.Board
+	if b.Name != "mini" || dec.RoutingLayer != 1 {
+		t.Fatalf("decoded %q layer %d", b.Name, dec.RoutingLayer)
+	}
+	if len(b.Nets) != 1 || b.Nets[0].Current != 3 {
+		t.Fatalf("nets = %+v", b.Nets)
+	}
+	if dec.Budgets[0] != 2500 {
+		t.Fatalf("budget = %d", dec.Budgets[0])
+	}
+	if len(b.Groups) != 2 {
+		t.Fatalf("groups = %d", len(b.Groups))
+	}
+	if b.Groups[0].Kind != board.KindPMIC || b.Groups[1].Kind != board.KindBGA {
+		t.Fatalf("kinds = %v %v", b.Groups[0].Kind, b.Groups[1].Kind)
+	}
+	// Circle pad rasterized around (180, 50).
+	if !b.Groups[1].Shape().Contains(geom.Pt(180, 50)) {
+		t.Fatal("circle pad must contain its center")
+	}
+	if len(b.Obstacle) != 1 || b.Obstacle[0].Net != board.NetNone {
+		t.Fatalf("obstacles = %+v", b.Obstacle)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"name":"x","bogus":1}`},
+		{"short outline", `{"name":"x","outline":[0,0,10],"stackup":[{"name":"L1","copper_um":35,"dielectric_below_um":0}],"rules":{"clearance":0,"tile_dx":1,"tile_dy":1,"via_cost":1},"routing_layer":1}`},
+		{"dup net", strings.Replace(minimalDoc, `{"name": "VDD", "current": 3, "slew_ns": 5, "area_budget": 2500}`,
+			`{"name": "VDD", "current": 3, "slew_ns": 5},{"name": "VDD", "current": 1, "slew_ns": 5}`, 1)},
+		{"bad kind", strings.Replace(minimalDoc, `"kind": "pmic"`, `"kind": "alien"`, 1)},
+		{"bad net ref", strings.Replace(minimalDoc, `"net": "VDD", "layer": 1, "current": 3,
+     "pads": [{"rect": [5, 40, 15, 60]}]`, `"net": "NOPE", "layer": 1, "current": 3,
+     "pads": [{"rect": [5, 40, 15, 60]}]`, 1)},
+		{"bad routing layer", strings.Replace(minimalDoc, `"routing_layer": 1`, `"routing_layer": 7`, 1)},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestShapeJSONValidation(t *testing.T) {
+	if _, err := (ShapeJSON{}).Region(); err == nil {
+		t.Fatal("empty shape must error")
+	}
+	if _, err := (ShapeJSON{Rect: []int64{1, 2, 3}}).Region(); err == nil {
+		t.Fatal("short rect must error")
+	}
+	if _, err := (ShapeJSON{Circle: []int64{1, 2}}).Region(); err == nil {
+		t.Fatal("short circle must error")
+	}
+	if _, err := (ShapeJSON{Rect: []int64{0, 0, 1, 1}, Circle: []int64{0, 0, 1}}).Region(); err == nil {
+		t.Fatal("two primitives must error")
+	}
+	g, err := (ShapeJSON{Poly: [][2]int64{{0, 0}, {10, 0}, {10, 10}, {0, 10}}}).Region()
+	if err != nil || g.Area() != 100 {
+		t.Fatalf("poly shape: area=%d err=%v", g.Area(), err)
+	}
+}
+
+func TestRoundTripTwoRail(t *testing.T) {
+	cs, err := cases.TwoRail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, cs.Board, cs.RoutingLayer, cs.Budgets); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := dec.Board
+	if b2.Name != cs.Board.Name {
+		t.Fatalf("name %q != %q", b2.Name, cs.Board.Name)
+	}
+	if len(b2.Nets) != len(cs.Board.Nets) || len(b2.Groups) != len(cs.Board.Groups) ||
+		len(b2.Obstacle) != len(cs.Board.Obstacle) {
+		t.Fatal("round trip changed element counts")
+	}
+	if dec.RoutingLayer != cs.RoutingLayer {
+		t.Fatalf("routing layer %d != %d", dec.RoutingLayer, cs.RoutingLayer)
+	}
+	// Geometry must survive exactly (regions are canonical rect lists).
+	for i, g := range cs.Board.Groups {
+		if !b2.Groups[i].Shape().Equal(g.Shape()) {
+			t.Fatalf("group %s geometry changed", g.Name)
+		}
+	}
+	// Available space identical on the routing layer.
+	for _, net := range cs.Board.Nets {
+		a1 := cs.Board.AvailableSpace(net.ID, cs.RoutingLayer)
+		a2 := b2.AvailableSpace(net.ID, cs.RoutingLayer)
+		if !a1.Equal(a2) {
+			t.Fatalf("net %s available space changed after round trip", net.Name)
+		}
+	}
+	// Budgets preserved.
+	for id, v := range cs.Budgets {
+		if dec.Budgets[id] != v {
+			t.Fatalf("budget for net %d: %d != %d", id, dec.Budgets[id], v)
+		}
+	}
+}
+
+func TestDecodeExampleDocument(t *testing.T) {
+	f, err := os.Open("testdata/example_board.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dec, err := Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Board.Name != "example-two-rail" || dec.RoutingLayer != 3 {
+		t.Fatalf("decoded %q layer %d", dec.Board.Name, dec.RoutingLayer)
+	}
+	if len(dec.Board.Nets) != 2 || len(dec.Board.Groups) != 5 || len(dec.Board.Obstacle) != 2 {
+		t.Fatalf("counts: nets=%d groups=%d obstacles=%d",
+			len(dec.Board.Nets), len(dec.Board.Groups), len(dec.Board.Obstacle))
+	}
+	if dec.Config.GrowNodes != 12 || dec.Config.ReheatDilations != 1 || dec.Config.DX != 5 {
+		t.Fatalf("router config not applied: %+v", dec.Config)
+	}
+	if dec.Budgets[0] != 6500 || dec.Budgets[1] != 3000 {
+		t.Fatalf("budgets = %v", dec.Budgets)
+	}
+	// The example must actually route end to end.
+	res, err := sprout.RouteBoard(dec.Board, sprout.RouteOptions{
+		Layer:   dec.RoutingLayer,
+		Budgets: dec.Budgets,
+		Config:  dec.Config,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rails) != 2 {
+		t.Fatalf("rails = %d", len(res.Rails))
+	}
+	if vs := sprout.Audit(res, sprout.DRCLimits{}); len(vs) != 0 {
+		t.Fatalf("example board must pass DRC: %v", vs)
+	}
+}

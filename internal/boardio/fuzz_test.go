@@ -1,0 +1,38 @@
+package boardio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the JSON board parser: arbitrary inputs must either
+// fail cleanly or produce a board that re-encodes and re-decodes without
+// error (no panics, no inconsistent state).
+func FuzzDecode(f *testing.F) {
+	f.Add(minimalDoc)
+	f.Add(`{}`)
+	f.Add(`{"name":"x","outline":[0,0,1,1],"stackup":[{"name":"L1","copper_um":35,"dielectric_below_um":0}],"rules":{"clearance":0,"tile_dx":1,"tile_dy":1,"via_cost":0},"nets":[],"groups":[],"routing_layer":1}`)
+	f.Add(strings.Replace(minimalDoc, `"rect": [5, 40, 15, 60]`, `"poly": [[0,0],[9,0],[9,9],[0,9]]`, 1))
+	f.Add(strings.Replace(minimalDoc, `"routing_layer": 1`, `"routing_layer": -2`, 1))
+	f.Fuzz(func(t *testing.T, doc string) {
+		dec, err := Decode(strings.NewReader(doc))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		// Accepted documents must round-trip.
+		var buf bytes.Buffer
+		if err := Encode(&buf, dec.Board, dec.RoutingLayer, dec.Budgets); err != nil {
+			t.Fatalf("accepted board failed to encode: %v", err)
+		}
+		dec2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded board failed to decode: %v", err)
+		}
+		if dec2.Board.Name != dec.Board.Name ||
+			len(dec2.Board.Nets) != len(dec.Board.Nets) ||
+			len(dec2.Board.Groups) != len(dec.Board.Groups) {
+			t.Fatal("round trip changed the board")
+		}
+	})
+}

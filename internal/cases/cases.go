@@ -1,0 +1,57 @@
+// Package cases constructs the three case-study boards of the paper's
+// evaluation (§III): the two-rail wireless board (Fig. 9, Table II), the
+// six-rail congested-BGA board (Fig. 10, Table III), and the three-rail
+// modem/CPU/DSP exploration board (Fig. 11, Table IV, Fig. 12). The
+// proprietary industrial layouts are unavailable, so these are parametric
+// synthetic boards with the same structure: the same layer roles, terminal
+// topology, congestion character, blockages and decap placement. All
+// geometry is in grid units of 0.1 mm.
+package cases
+
+import (
+	"fmt"
+
+	"sprout/internal/board"
+	"sprout/internal/ckt"
+	"sprout/internal/geom"
+	"sprout/internal/route"
+)
+
+// CaseStudy bundles a board with the routing parameters of its experiment.
+type CaseStudy struct {
+	Board        *board.Board
+	RoutingLayer int
+	// Budgets is the per-net metal area budget in grid units squared.
+	Budgets map[board.NetID]int64
+	// Config tunes the router for this board.
+	Config route.Config
+	// Decaps lists the decoupling capacitors of each rail for the PDN
+	// analysis (Fig. 12b/c).
+	Decaps map[board.NetID][]ckt.Decap
+	// VSupply is the rail voltage (1 V in the paper's study).
+	VSupply float64
+}
+
+// viaPad returns a via land pad region of half-width r at p.
+func viaPad(p geom.Point, r int64) geom.Region {
+	return geom.RegionFromRect(geom.RectAround(p, r))
+}
+
+// viaCluster builds a cols x rows grid of via pads.
+func viaCluster(origin geom.Point, cols, rows int, pitch, padHalf int64) []geom.Region {
+	pads := make([]geom.Region, 0, cols*rows)
+	for j := 0; j < rows; j++ {
+		for i := 0; i < cols; i++ {
+			pads = append(pads, viaPad(geom.Pt(origin.X+int64(i)*pitch, origin.Y+int64(j)*pitch), padHalf))
+		}
+	}
+	return pads
+}
+
+// mustGroup adds a terminal group or returns an error with context.
+func addGroup(b *board.Board, g board.TerminalGroup) error {
+	if err := b.AddGroup(g); err != nil {
+		return fmt.Errorf("cases: group %s: %w", g.Name, err)
+	}
+	return nil
+}

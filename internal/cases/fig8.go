@@ -1,0 +1,20 @@
+package cases
+
+import (
+	"sprout/internal/geom"
+	"sprout/internal/route"
+)
+
+// Fig8Scene returns the three-terminal demonstration space of paper
+// Fig. 8: an open region with a central blockage and three terminals, used
+// to visualize the seed → voidless → grow → refine progression.
+func Fig8Scene() (geom.Region, []route.Terminal) {
+	avail := geom.RegionFromRect(geom.R(0, 0, 120, 80)).
+		Subtract(geom.RegionFromRect(geom.R(50, 28, 74, 54)))
+	terms := []route.Terminal{
+		{Name: "A", Shape: geom.RegionFromRect(geom.R(4, 36, 10, 46)), Current: 4},
+		{Name: "B", Shape: geom.RegionFromRect(geom.R(110, 8, 116, 18)), Current: 2},
+		{Name: "C", Shape: geom.RegionFromRect(geom.R(110, 62, 116, 72)), Current: 2},
+	}
+	return avail, terms
+}

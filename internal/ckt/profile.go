@@ -1,0 +1,142 @@
+package ckt
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ProfilePoint is one frequency sample of a PDN impedance profile.
+type ProfilePoint struct {
+	FreqHz float64
+	Z      complex128
+}
+
+// MagOhms returns |Z| at the sample.
+func (p ProfilePoint) MagOhms() float64 { return cmplx.Abs(p.Z) }
+
+// Profile is a log-swept PDN impedance profile — the quantity the paper's
+// Fig. 1 flow checks against the target impedance before sign-off
+// ("if the impedance profile of the resulting layout does not satisfy the
+// target requirements, the layout is iteratively adjusted").
+type Profile []ProfilePoint
+
+// PeakOhms returns the highest impedance magnitude and its frequency.
+func (p Profile) PeakOhms() (float64, float64) {
+	best, freq := 0.0, 0.0
+	for _, pt := range p {
+		if m := pt.MagOhms(); m > best {
+			best, freq = m, pt.FreqHz
+		}
+	}
+	return best, freq
+}
+
+// ImpedanceProfile sweeps the rail's driving-point impedance (decaps
+// included, die capacitance excluded) logarithmically from fMin to fMax
+// with the given number of points per decade.
+func (m PDNModel) ImpedanceProfile(fMin, fMax float64, pointsPerDecade int) (Profile, error) {
+	if fMin <= 0 || fMax <= fMin {
+		return nil, fmt.Errorf("ckt: bad frequency range [%g, %g]", fMin, fMax)
+	}
+	if pointsPerDecade < 1 {
+		return nil, fmt.Errorf("ckt: need >= 1 point per decade, got %d", pointsPerDecade)
+	}
+	c, load, err := m.build(false)
+	if err != nil {
+		return nil, err
+	}
+	decades := math.Log10(fMax / fMin)
+	n := int(math.Ceil(decades*float64(pointsPerDecade))) + 1
+	var out Profile
+	for i := 0; i < n; i++ {
+		f := fMin * math.Pow(10, decades*float64(i)/float64(n-1))
+		z, err := c.Impedance(load, f)
+		if err != nil {
+			return nil, fmt.Errorf("ckt: profile at %g Hz: %w", f, err)
+		}
+		out = append(out, ProfilePoint{FreqHz: f, Z: z})
+	}
+	return out, nil
+}
+
+// TargetMask is a piecewise-log-linear impedance limit |Z(f)| <= limit(f),
+// given as breakpoints sorted by frequency. Between breakpoints the limit
+// interpolates linearly in log-log space; outside the range it clamps to
+// the nearest breakpoint.
+type TargetMask []MaskPoint
+
+// MaskPoint is one breakpoint of a target mask.
+type MaskPoint struct {
+	FreqHz    float64
+	LimitOhms float64
+}
+
+// TargetFromRLC builds the classic target mask VddRipple/Itransient flat
+// limit: Z_target = (Vdd * ripple%) / Imax at all frequencies.
+func TargetFromRLC(vdd, ripplePct, iMax float64) (TargetMask, error) {
+	if vdd <= 0 || ripplePct <= 0 || iMax <= 0 {
+		return nil, fmt.Errorf("ckt: bad target parameters vdd=%g ripple=%g i=%g", vdd, ripplePct, iMax)
+	}
+	z := vdd * ripplePct / 100 / iMax
+	return TargetMask{{1, z}, {1e12, z}}, nil
+}
+
+// LimitAt evaluates the mask at freq.
+func (mask TargetMask) LimitAt(freq float64) (float64, error) {
+	if len(mask) == 0 {
+		return 0, fmt.Errorf("ckt: empty target mask")
+	}
+	if freq <= mask[0].FreqHz {
+		return mask[0].LimitOhms, nil
+	}
+	last := mask[len(mask)-1]
+	if freq >= last.FreqHz {
+		return last.LimitOhms, nil
+	}
+	for i := 0; i+1 < len(mask); i++ {
+		a, b := mask[i], mask[i+1]
+		if freq < a.FreqHz || freq > b.FreqHz {
+			continue
+		}
+		if a.FreqHz <= 0 || b.FreqHz <= a.FreqHz || a.LimitOhms <= 0 || b.LimitOhms <= 0 {
+			return 0, fmt.Errorf("ckt: malformed mask segment %d", i)
+		}
+		t := math.Log(freq/a.FreqHz) / math.Log(b.FreqHz/a.FreqHz)
+		return a.LimitOhms * math.Pow(b.LimitOhms/a.LimitOhms, t), nil
+	}
+	return last.LimitOhms, nil
+}
+
+// MaskReport is the result of checking a profile against a mask.
+type MaskReport struct {
+	Pass bool
+	// WorstFreqHz and WorstRatio locate the tightest point: ratio is
+	// |Z|/limit (>1 means violation).
+	WorstFreqHz float64
+	WorstRatio  float64
+}
+
+// Check evaluates the profile against the mask.
+func (mask TargetMask) Check(p Profile) (MaskReport, error) {
+	if len(p) == 0 {
+		return MaskReport{}, fmt.Errorf("ckt: empty profile")
+	}
+	rep := MaskReport{Pass: true}
+	for _, pt := range p {
+		limit, err := mask.LimitAt(pt.FreqHz)
+		if err != nil {
+			return MaskReport{}, err
+		}
+		if limit <= 0 {
+			return MaskReport{}, fmt.Errorf("ckt: non-positive limit at %g Hz", pt.FreqHz)
+		}
+		ratio := pt.MagOhms() / limit
+		if ratio > rep.WorstRatio {
+			rep.WorstRatio = ratio
+			rep.WorstFreqHz = pt.FreqHz
+		}
+	}
+	rep.Pass = rep.WorstRatio <= 1
+	return rep, nil
+}

@@ -1,0 +1,159 @@
+package ckt
+
+import (
+	"math"
+	"testing"
+)
+
+func testModel() PDNModel {
+	return PDNModel{
+		VSupply: 1, ROhms: 0.002, LHenry: 500e-12,
+		Decaps: []Decap{DefaultDecap()},
+		ILoad:  2, SlewNS: 5,
+	}
+}
+
+func TestImpedanceProfileShape(t *testing.T) {
+	p, err := testModel().ImpedanceProfile(1e3, 1e9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) < 50 {
+		t.Fatalf("points = %d, want >= 50 over 6 decades", len(p))
+	}
+	// Frequencies strictly increasing, log-spaced.
+	for i := 1; i < len(p); i++ {
+		if p[i].FreqHz <= p[i-1].FreqHz {
+			t.Fatal("frequencies must increase")
+		}
+	}
+	// At DC-ish frequencies the profile approaches the rail resistance.
+	if got := p[0].MagOhms(); math.Abs(got-0.002)/0.002 > 0.2 {
+		t.Fatalf("low-frequency |Z| = %g, want ~R = 0.002", got)
+	}
+	// At very high frequencies the inductances dominate: the rail L in
+	// parallel with the decap ESL (its C is a short by then), so
+	// |Z| ~ ω·(L_rail ∥ ESL) = ω·250 pH here.
+	last := p[len(p)-1]
+	lhf := 500e-12 * 0.5e-9 / (500e-12 + 0.5e-9)
+	want := 2 * math.Pi * last.FreqHz * lhf
+	if math.Abs(last.MagOhms()-want)/want > 0.3 {
+		t.Fatalf("high-frequency |Z| = %g, want ~ω(L∥ESL) = %g", last.MagOhms(), want)
+	}
+	// The decap series resonance carves a dip: the profile is not
+	// monotone in |Z| — somewhere in the interior it strictly decreases.
+	dips := 0
+	for i := 1; i < len(p); i++ {
+		if p[i].MagOhms() < p[i-1].MagOhms()*0.999 {
+			dips++
+		}
+	}
+	if dips == 0 {
+		t.Fatal("profile missing the decap resonance dip")
+	}
+	// The global peak is the inductive tail end for this topology.
+	peak, freq := p.PeakOhms()
+	if freq != last.FreqHz || peak != last.MagOhms() {
+		t.Fatalf("peak %g at %g Hz, want the inductive tail", peak, freq)
+	}
+}
+
+func TestImpedanceProfileValidation(t *testing.T) {
+	m := testModel()
+	if _, err := m.ImpedanceProfile(0, 1e9, 10); err == nil {
+		t.Fatal("zero fMin must error")
+	}
+	if _, err := m.ImpedanceProfile(1e6, 1e3, 10); err == nil {
+		t.Fatal("inverted range must error")
+	}
+	if _, err := m.ImpedanceProfile(1e3, 1e9, 0); err == nil {
+		t.Fatal("zero points must error")
+	}
+}
+
+func TestTargetFromRLC(t *testing.T) {
+	mask, err := TargetFromRLC(1.0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit, err := mask.LimitAt(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(limit-0.015) > 1e-12 {
+		t.Fatalf("flat target = %g, want 0.015", limit)
+	}
+	if _, err := TargetFromRLC(0, 3, 2); err == nil {
+		t.Fatal("bad params must error")
+	}
+}
+
+func TestMaskInterpolation(t *testing.T) {
+	mask := TargetMask{{1e3, 0.1}, {1e6, 0.001}}
+	// Clamping outside the range.
+	lo, _ := mask.LimitAt(10)
+	hi, _ := mask.LimitAt(1e9)
+	if lo != 0.1 || hi != 0.001 {
+		t.Fatalf("clamps = %g, %g", lo, hi)
+	}
+	// Log-log midpoint: sqrt(0.1*0.001) ~ 0.01 at f = sqrt(1e3*1e6).
+	mid, err := mask.LimitAt(math.Sqrt(1e3 * 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mid-0.01)/0.01 > 1e-9 {
+		t.Fatalf("log-log interpolation = %g, want 0.01", mid)
+	}
+	if _, err := (TargetMask{}).LimitAt(1e6); err == nil {
+		t.Fatal("empty mask must error")
+	}
+}
+
+func TestMaskCheck(t *testing.T) {
+	m := testModel()
+	p, err := m.ImpedanceProfile(1e3, 1e8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _ := p.PeakOhms()
+	// Generous mask: passes.
+	loose := TargetMask{{1, peak * 2}, {1e12, peak * 2}}
+	rep, err := loose.Check(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.WorstRatio > 1 {
+		t.Fatalf("loose mask must pass: %+v", rep)
+	}
+	// Tight mask: fails at the peak frequency.
+	tight := TargetMask{{1, peak / 2}, {1e12, peak / 2}}
+	rep, err = tight.Check(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.WorstRatio <= 1 {
+		t.Fatalf("tight mask must fail: %+v", rep)
+	}
+	if _, err := tight.Check(nil); err == nil {
+		t.Fatal("empty profile must error")
+	}
+}
+
+func TestProfileMoreDecapsLowerPeak(t *testing.T) {
+	base := testModel()
+	more := base
+	more.Decaps = []Decap{DefaultDecap(), DefaultDecap(), DefaultDecap()}
+	p1, err := base.ImpedanceProfile(1e4, 1e8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := more.ImpedanceProfile(1e4, 1e8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak1, _ := p1.PeakOhms()
+	peak2, _ := p2.PeakOhms()
+	if peak2 >= peak1 {
+		t.Fatalf("more decaps must lower the peak: %g vs %g", peak2, peak1)
+	}
+}

@@ -1,0 +1,136 @@
+// Package decap selects decoupling capacitors for a rail so that its
+// impedance profile meets a target mask — the companion decision to
+// SPROUT's shape synthesis. The paper's flow connects "the PMIC output,
+// ball grid array, and, optionally, decoupling capacitors" (§I) and its
+// references [2], [15], [16] study exactly this selection problem; here a
+// deterministic greedy search adds, at every step, the candidate that most
+// reduces the worst impedance-to-mask ratio.
+package decap
+
+import (
+	"fmt"
+
+	"sprout/internal/ckt"
+)
+
+// Candidate is a decap kind available to the planner.
+type Candidate struct {
+	Name  string
+	Decap ckt.Decap
+}
+
+// StandardKit returns a typical three-tier decap kit: bulk electrolytic,
+// mid-frequency MLCC, and a small high-frequency MLCC.
+func StandardKit() []Candidate {
+	return []Candidate{
+		{Name: "bulk-100uF", Decap: ckt.Decap{C: 100e-6, ESR: 0.030, ESL: 3e-9}},
+		{Name: "mlcc-10uF", Decap: ckt.Decap{C: 10e-6, ESR: 0.005, ESL: 0.5e-9}},
+		{Name: "mlcc-1uF", Decap: ckt.Decap{C: 1e-6, ESR: 0.010, ESL: 0.3e-9}},
+	}
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxDecaps caps the total count. Zero selects 12.
+	MaxDecaps int
+	// FMin, FMax bound the checked band. Zeros select 10 kHz – 100 MHz.
+	FMin, FMax float64
+	// PointsPerDecade sets the sweep resolution. Zero selects 12.
+	PointsPerDecade int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDecaps == 0 {
+		o.MaxDecaps = 12
+	}
+	if o.FMin == 0 {
+		o.FMin = 1e4
+	}
+	if o.FMax == 0 {
+		o.FMax = 1e8
+	}
+	if o.PointsPerDecade == 0 {
+		o.PointsPerDecade = 12
+	}
+	return o
+}
+
+// Result is the planner outcome.
+type Result struct {
+	// Chosen lists the selected decaps in selection order.
+	Chosen []Candidate
+	// Counts tallies selections per candidate name.
+	Counts map[string]int
+	// Report is the final mask check.
+	Report ckt.MaskReport
+	// Profile is the final impedance profile.
+	Profile ckt.Profile
+}
+
+// Plan greedily selects decaps until the rail (railROhms, railLHenry)
+// meets the mask or no candidate improves the worst ratio. It returns the
+// best configuration found together with its mask report; Report.Pass
+// tells whether the target was met.
+func Plan(railROhms, railLHenry float64, cands []Candidate, mask ckt.TargetMask, opt Options) (*Result, error) {
+	if railROhms <= 0 || railLHenry <= 0 {
+		return nil, fmt.Errorf("decap: rail R=%g L=%g must be positive", railROhms, railLHenry)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("decap: no candidates")
+	}
+	if len(mask) == 0 {
+		return nil, fmt.Errorf("decap: empty target mask")
+	}
+	opt = opt.withDefaults()
+
+	evaluate := func(chosen []Candidate) (ckt.MaskReport, ckt.Profile, error) {
+		model := ckt.PDNModel{
+			VSupply: 1, ROhms: railROhms, LHenry: railLHenry,
+			ILoad: 1, SlewNS: 1,
+		}
+		for _, c := range chosen {
+			model.Decaps = append(model.Decaps, c.Decap)
+		}
+		profile, err := model.ImpedanceProfile(opt.FMin, opt.FMax, opt.PointsPerDecade)
+		if err != nil {
+			return ckt.MaskReport{}, nil, err
+		}
+		rep, err := mask.Check(profile)
+		if err != nil {
+			return ckt.MaskReport{}, nil, err
+		}
+		return rep, profile, nil
+	}
+
+	var chosen []Candidate
+	rep, profile, err := evaluate(chosen)
+	if err != nil {
+		return nil, err
+	}
+	for !rep.Pass && len(chosen) < opt.MaxDecaps {
+		bestIdx := -1
+		var bestRep ckt.MaskReport
+		var bestProfile ckt.Profile
+		for i, cand := range cands {
+			trial := append(append([]Candidate(nil), chosen...), cand)
+			trialRep, trialProfile, err := evaluate(trial)
+			if err != nil {
+				return nil, err
+			}
+			if bestIdx == -1 || trialRep.WorstRatio < bestRep.WorstRatio {
+				bestIdx, bestRep, bestProfile = i, trialRep, trialProfile
+			}
+		}
+		if bestRep.WorstRatio >= rep.WorstRatio {
+			break // no candidate helps: the rail inductance is the wall
+		}
+		chosen = append(chosen, cands[bestIdx])
+		rep, profile = bestRep, bestProfile
+	}
+
+	counts := map[string]int{}
+	for _, c := range chosen {
+		counts[c.Name]++
+	}
+	return &Result{Chosen: chosen, Counts: counts, Report: rep, Profile: profile}, nil
+}

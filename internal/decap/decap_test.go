@@ -1,0 +1,143 @@
+package decap
+
+import (
+	"testing"
+
+	"sprout/internal/ckt"
+)
+
+// relaxedMask allows the inevitable high-frequency inductive rise: flat
+// floor to 1 MHz, then 20 dB/decade.
+func relaxedMask(floor float64) ckt.TargetMask {
+	return ckt.TargetMask{
+		{FreqHz: 1e4, LimitOhms: floor},
+		{FreqHz: 1e6, LimitOhms: floor},
+		{FreqHz: 1e8, LimitOhms: floor * 100},
+	}
+}
+
+func TestPlanMeetsGenerousMask(t *testing.T) {
+	// Rail: 2 mΩ, 2 nH — bare, ωL crosses the 10 mΩ floor near 800 kHz,
+	// so decaps are mandatory; with them the mask is achievable.
+	res, err := Plan(0.002, 2e-9, StandardKit(), relaxedMask(0.010), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Pass {
+		t.Fatalf("plan failed: worst ratio %g at %g Hz with %d decaps",
+			res.Report.WorstRatio, res.Report.WorstFreqHz, len(res.Chosen))
+	}
+	if len(res.Chosen) == 0 {
+		t.Fatal("a 2 nH rail needs at least one decap for the mid band")
+	}
+	if len(res.Chosen) > 8 {
+		t.Fatalf("greedy used %d decaps for an easy mask", len(res.Chosen))
+	}
+}
+
+func TestPlanNoDecapsNeeded(t *testing.T) {
+	// A very low-impedance rail against a loose mask passes bare.
+	res, err := Plan(0.0005, 50e-12, StandardKit(), relaxedMask(0.050), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Pass {
+		t.Fatalf("bare rail should pass: %+v", res.Report)
+	}
+	if len(res.Chosen) != 0 {
+		t.Fatalf("no decaps should be selected, got %d", len(res.Chosen))
+	}
+}
+
+func TestPlanImpossibleMaskStopsGracefully(t *testing.T) {
+	// A 1 µΩ floor cannot be met; the planner must stop at the budget or
+	// when progress stalls, reporting failure rather than looping.
+	res, err := Plan(0.002, 500e-12, StandardKit(), relaxedMask(1e-6), Options{MaxDecaps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Pass {
+		t.Fatal("impossible mask cannot pass")
+	}
+	if len(res.Chosen) > 6 {
+		t.Fatalf("budget exceeded: %d", len(res.Chosen))
+	}
+}
+
+func TestPlanMonotoneImprovement(t *testing.T) {
+	// The final configuration must be no worse than the bare rail.
+	bare, err := Plan(0.002, 400e-12, StandardKit(), relaxedMask(1e-6), Options{MaxDecaps: 0})
+	_ = bare
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Plan(0.002, 400e-12, StandardKit(), relaxedMask(0.008), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := ckt.PDNModel{VSupply: 1, ROhms: 0.002, LHenry: 400e-12, ILoad: 1, SlewNS: 1}
+	bareProfile, err := model.ImpedanceProfile(1e4, 1e8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := relaxedMask(0.008).Check(bareProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Report.WorstRatio > rep.WorstRatio {
+		t.Fatalf("plan made things worse: %g vs bare %g",
+			full.Report.WorstRatio, rep.WorstRatio)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := Plan(0.003, 600e-12, StandardKit(), relaxedMask(0.012), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Chosen) != len(b.Chosen) {
+		t.Fatal("nondeterministic selection count")
+	}
+	for i := range a.Chosen {
+		if a.Chosen[i].Name != b.Chosen[i].Name {
+			t.Fatal("nondeterministic selection order")
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	kit := StandardKit()
+	mask := relaxedMask(0.01)
+	if _, err := Plan(0, 1e-10, kit, mask, Options{}); err == nil {
+		t.Fatal("zero R must error")
+	}
+	if _, err := Plan(0.001, 0, kit, mask, Options{}); err == nil {
+		t.Fatal("zero L must error")
+	}
+	if _, err := Plan(0.001, 1e-10, nil, mask, Options{}); err == nil {
+		t.Fatal("no candidates must error")
+	}
+	if _, err := Plan(0.001, 1e-10, kit, nil, Options{}); err == nil {
+		t.Fatal("empty mask must error")
+	}
+}
+
+func TestStandardKitSane(t *testing.T) {
+	kit := StandardKit()
+	if len(kit) != 3 {
+		t.Fatalf("kit size = %d", len(kit))
+	}
+	for _, c := range kit {
+		if c.Decap.C <= 0 || c.Decap.ESR <= 0 || c.Decap.ESL <= 0 {
+			t.Fatalf("candidate %s has non-physical parameters", c.Name)
+		}
+	}
+	// Bulk has the most capacitance, HF the least ESL.
+	if kit[0].Decap.C <= kit[1].Decap.C || kit[2].Decap.ESL >= kit[1].Decap.ESL {
+		t.Fatal("kit tiers out of order")
+	}
+}

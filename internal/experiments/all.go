@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// All runs every experiment in paper order, printing each table and
+// figure. SVGs are written to outDir when non-empty.
+func All(w io.Writer, outDir string) error {
+	if _, err := Fig8(w, outDir); err != nil {
+		return fmt.Errorf("experiments: fig8: %w", err)
+	}
+	if _, err := Table2(w, outDir); err != nil {
+		return fmt.Errorf("experiments: table2: %w", err)
+	}
+	if _, err := Table3(w, outDir); err != nil {
+		return fmt.Errorf("experiments: table3: %w", err)
+	}
+	sweep, err := RunSweep(outDir)
+	if err != nil {
+		return fmt.Errorf("experiments: sweep: %w", err)
+	}
+	if err := Table4(w, sweep); err != nil {
+		return fmt.Errorf("experiments: table4: %w", err)
+	}
+	if err := Fig12(w, sweep); err != nil {
+		return fmt.Errorf("experiments: fig12: %w", err)
+	}
+	if _, err := Multilayer(w, outDir); err != nil {
+		return fmt.Errorf("experiments: multilayer: %w", err)
+	}
+	if _, err := Runtime(w); err != nil {
+		return fmt.Errorf("experiments: runtime: %w", err)
+	}
+	if _, err := Ablation(w); err != nil {
+		return fmt.Errorf("experiments: ablation: %w", err)
+	}
+	if _, err := Heatmaps(w, outDir); err != nil {
+		return fmt.Errorf("experiments: heatmaps: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III): Table II (two-rail vs manual), Table III (six-rail vs
+// manual), Table IV + Figs. 11-12 (area/impedance trade-off sweep), the
+// Fig. 8 stage-by-stage routing demonstration, the §II-H runtime scaling
+// study, the Appendix multilayer decomposition (Figs. 5/13), and an
+// ablation study over SPROUT's design choices. Each experiment prints the
+// same rows or series the paper reports, next to the paper's own numbers
+// where the paper gives them, and returns structured results for
+// benchmarks and tests.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sprout"
+	"sprout/internal/board"
+	"sprout/internal/cases"
+	"sprout/internal/geom"
+	"sprout/internal/svgout"
+)
+
+// netStyle returns a deterministic fill color per net index.
+func netStyle(i int) svgout.Style {
+	palette := []string{"#c02020", "#2060c0", "#20a040", "#c08020", "#8040c0", "#209090"}
+	return svgout.Style{Fill: palette[i%len(palette)], Opacity: 0.85}
+}
+
+// renderBoard draws a routed board to an SVG file: blockages hatched,
+// ground vias black, rails colored, terminals outlined.
+func renderBoard(res *sprout.BoardResult, path string, manualShapes bool) error {
+	b := res.Board
+	c := svgout.New(b.Outline)
+	c.Rect(b.Outline, svgout.Style{Fill: "#f8f8f4", Stroke: "#333", StrokeWidth: 1})
+	for _, o := range b.Obstacle {
+		if o.Layer != res.Layer {
+			continue
+		}
+		st := svgout.Style{Fill: "#444", Hatch: o.Net == board.NetNone}
+		c.Region(o.Shape, st)
+	}
+	for i, rail := range res.Rails {
+		shape := rail.Route.Shape
+		if manualShapes && rail.Manual != nil {
+			shape = rail.Manual.Shape
+		}
+		c.Region(shape, netStyle(i))
+	}
+	for _, g := range b.Groups {
+		if g.Layer != res.Layer {
+			continue
+		}
+		for _, p := range g.Pads {
+			c.Region(p, svgout.Style{Stroke: "#000", StrokeWidth: 0.6})
+		}
+		c.Text(g.Shape().Bounds().Center().Add(geom.Pt(2, 2)), 6, "#000", g.Name)
+	}
+	return c.WriteFile(path)
+}
+
+// routeCase routes a case study with the standard options.
+func routeCase(cs *cases.CaseStudy, withManual bool) (*sprout.BoardResult, error) {
+	return sprout.RouteBoard(cs.Board, sprout.RouteOptions{
+		Layer:      cs.RoutingLayer,
+		Budgets:    cs.Budgets,
+		Config:     cs.Config,
+		WithManual: withManual,
+	})
+}
+
+// section prints an experiment banner.
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n\n", id, title)
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"sprout"
+	"sprout/internal/cases"
+	"sprout/internal/report"
+)
+
+// SweepRail is the per-rail outcome of one Table IV layout.
+type SweepRail struct {
+	Name         string
+	AreaNorm     float64 // Table IV normalized area units
+	AreaUnits    int64   // actual copper area in grid units²
+	RmOhm        float64 // extracted DC resistance (mΩ), Fig. 12a
+	LoopLpH      float64 // layout loop inductance (pH)
+	EffLpH       float64 // effective inductance @ 25 MHz incl. decaps (pH), Fig. 12b
+	VminV        float64 // minimum load voltage (V), Fig. 12c
+	DelayNorm    float64 // normalized FinFET delay, Fig. 12d
+	PowerNorm    float64 // normalized dynamic power
+	CurrentLimit float64 // peak edge current density (A per grid unit)
+}
+
+// SweepLayout is one of the nine Table IV layouts.
+type SweepLayout struct {
+	Layout int
+	Rails  []SweepRail
+}
+
+// SweepResult is the full area/impedance exploration of §III-C.
+type SweepResult struct {
+	Layouts []SweepLayout
+}
+
+// Series extracts the per-rail figure curve (x = normalized area, y =
+// chosen metric) for rail `name`.
+func (s *SweepResult) Series(name string, metric func(SweepRail) float64) *report.Series {
+	out := &report.Series{Name: name}
+	for _, l := range s.Layouts {
+		for _, r := range l.Rails {
+			if r.Name == name {
+				out.Add(r.AreaNorm, metric(r))
+			}
+		}
+	}
+	return out
+}
+
+// RunSweep generates the nine Table IV layouts with SPROUT (Fig. 11),
+// extracts each rail (Fig. 12a-b), and runs the transient and guideline
+// analysis (Fig. 12c-d). Layout SVGs go to outDir when non-empty.
+func RunSweep(outDir string) (*SweepResult, error) {
+	rows := cases.Table4()
+	out := &SweepResult{}
+	for _, row := range rows {
+		cs, err := cases.ThreeRail(row)
+		if err != nil {
+			return nil, err
+		}
+		res, err := routeCase(cs, false)
+		if err != nil {
+			return nil, fmt.Errorf("layout %d: %w", row.Layout, err)
+		}
+		layout := SweepLayout{Layout: row.Layout}
+		for _, rail := range res.Rails {
+			net, err := cs.Board.Net(rail.Net)
+			if err != nil {
+				return nil, err
+			}
+			an, err := sprout.AnalyzeRail(rail.Extract, net, cs.VSupply, cs.Decaps[rail.Net])
+			if err != nil {
+				return nil, fmt.Errorf("layout %d rail %s: %w", row.Layout, rail.Name, err)
+			}
+			areaNorm := map[string]float64{
+				"MODEM": row.Modem, "CPU": row.CPU, "DSP": row.DSP,
+			}[rail.Name]
+			layout.Rails = append(layout.Rails, SweepRail{
+				Name:         rail.Name,
+				AreaNorm:     areaNorm,
+				AreaUnits:    rail.Route.Shape.Area(),
+				RmOhm:        rail.Extract.ResistanceOhms * 1e3,
+				LoopLpH:      rail.Extract.InductancePH,
+				EffLpH:       an.EffLInductPH,
+				VminV:        an.MinLoadVoltage,
+				DelayNorm:    an.DelayNorm,
+				PowerNorm:    an.PowerNorm,
+				CurrentLimit: rail.Extract.MaxCurrentDensity,
+			})
+		}
+		out.Layouts = append(out.Layouts, layout)
+
+		if outDir != "" {
+			// Fig. 11 shows layouts 3, 4, 6, 8 and 9; render every layout.
+			name := fmt.Sprintf("fig11_layout%d.svg", row.Layout)
+			if err := renderBoard(res, filepath.Join(outDir, name), false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table4 prints the area schedule (paper Table IV) and the measured copper
+// area of each generated prototype.
+func Table4(w io.Writer, res *SweepResult) error {
+	section(w, "E4 / Table IV + Fig. 11", "area schedule of the nine exploration layouts")
+	t := report.NewTable("Target area (normalized units; paper Table IV) and synthesized copper (units²)",
+		"Layout", "Modem", "CPU", "DSP", "modem units²", "cpu units²", "dsp units²")
+	for i, l := range res.Layouts {
+		row := cases.Table4()[i]
+		var m, c, d int64
+		for _, r := range l.Rails {
+			switch r.Name {
+			case "MODEM":
+				m = r.AreaUnits
+			case "CPU":
+				c = r.AreaUnits
+			case "DSP":
+				d = r.AreaUnits
+			}
+		}
+		t.AddRow(l.Layout, row.Modem, row.CPU, row.DSP, m, c, d)
+	}
+	return t.Render(w)
+}
+
+// Fig12 prints the four panels of paper Fig. 12 as aligned series.
+func Fig12(w io.Writer, res *SweepResult) error {
+	section(w, "E5-E7 / Fig. 12", "impedance, load voltage and delay vs rail area")
+	panels := []struct {
+		title  string
+		metric func(SweepRail) float64
+	}{
+		{"Fig. 12a — effective resistance (mΩ) vs area", func(r SweepRail) float64 { return r.RmOhm }},
+		{"Fig. 12b — effective inductance @ 25 MHz (pH, incl. decaps) vs area", func(r SweepRail) float64 { return r.EffLpH }},
+		{"Fig. 12c — minimum load voltage (V) vs area", func(r SweepRail) float64 { return r.VminV }},
+		{"Fig. 12d — normalized FinFET propagation delay vs area", func(r SweepRail) float64 { return r.DelayNorm }},
+	}
+	for _, p := range panels {
+		series := make([]*report.Series, 0, 3)
+		for _, name := range cases.ThreeRailNets {
+			series = append(series, res.Series(name, p.metric))
+		}
+		// The x axes differ per rail (DSP uses its own schedule), so the
+		// table keys rows by layout number with per-rail area columns.
+		t := report.NewTable(p.title, "layout", "modem area", "MODEM", "cpu area", "CPU", "dsp area", "DSP")
+		for i := range res.Layouts {
+			t.AddRow(i+1,
+				series[0].X[i], series[0].Y[i],
+				series[1].X[i], series[1].Y[i],
+				series[2].X[i], series[2].Y[i])
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper trends: R falls with area with diminishing returns; modem/CPU effective L")
+	fmt.Fprintln(w, "is pinned by the decaps while DSP L keeps falling; Vmin rises ~36 mV for DSP")
+	fmt.Fprintln(w, "area 3.75→7.5 giving ~7% delay reduction; modem Vmin flattens past ~27.5 units.")
+	return nil
+}

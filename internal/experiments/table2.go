@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"sprout/internal/cases"
+	"sprout/internal/report"
+)
+
+// PaperTable2 holds the paper's Table II values (normalized picohenries at
+// 25 MHz and milliohms DC) for the two-rail system.
+var PaperTable2 = struct {
+	Nets      []string
+	ManualL   []float64
+	SproutL   []float64
+	ManualRmO []float64
+	SproutRmO []float64
+}{
+	Nets:      []string{"VDD1", "VDD2"},
+	ManualL:   []float64{100, 136},
+	SproutL:   []float64{87.5, 138},
+	ManualRmO: []float64{10.0, 12.7},
+	SproutRmO: []float64{10.1, 13.1},
+}
+
+// Table2Row is one measured net of the two-rail comparison.
+type Table2Row struct {
+	Net                  string
+	ManualRmOhm          float64 // milliohms
+	SproutRmOhm          float64
+	ManualLpH, SproutLpH float64 // picohenries
+}
+
+// Table2Result is the measured Table II.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 routes the Fig. 9 two-rail board with both SPROUT and the
+// manual baseline and extracts both layouts.
+func RunTable2(outDir string) (*Table2Result, error) {
+	cs, err := cases.TwoRail()
+	if err != nil {
+		return nil, err
+	}
+	res, err := routeCase(cs, true)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table2Result{}
+	for _, rail := range res.Rails {
+		out.Rows = append(out.Rows, Table2Row{
+			Net:         rail.Name,
+			ManualRmOhm: rail.ManualExtract.ResistanceOhms * 1e3,
+			SproutRmOhm: rail.Extract.ResistanceOhms * 1e3,
+			ManualLpH:   rail.ManualExtract.InductancePH,
+			SproutLpH:   rail.Extract.InductancePH,
+		})
+	}
+	if outDir != "" {
+		if err := renderBoard(res, filepath.Join(outDir, "fig9_sprout.svg"), false); err != nil {
+			return nil, err
+		}
+		if err := renderBoard(res, filepath.Join(outDir, "fig9_manual.svg"), true); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Table2 runs the experiment and prints the paper-format table next to
+// the paper's own values.
+func Table2(w io.Writer, outDir string) (*Table2Result, error) {
+	section(w, "E2 / Table II", "two-rail system: SPROUT vs manual (Fig. 9)")
+	res, err := RunTable2(outDir)
+	if err != nil {
+		return nil, err
+	}
+	tl := report.NewTable("Inductance @ 25 MHz (pH; ours absolute, paper normalized)",
+		"Net", "Manual", "SPROUT", "SPROUT/Manual", "paper Manual", "paper SPROUT", "paper ratio")
+	tr := report.NewTable("DC resistance (mΩ; ours absolute, paper normalized)",
+		"Net", "Manual", "SPROUT", "SPROUT/Manual", "paper Manual", "paper SPROUT", "paper ratio")
+	for i, row := range res.Rows {
+		tl.AddRow(row.Net, row.ManualLpH, row.SproutLpH, row.SproutLpH/row.ManualLpH,
+			PaperTable2.ManualL[i], PaperTable2.SproutL[i], PaperTable2.SproutL[i]/PaperTable2.ManualL[i])
+		tr.AddRow(row.Net, row.ManualRmOhm, row.SproutRmOhm, row.SproutRmOhm/row.ManualRmOhm,
+			PaperTable2.ManualRmO[i], PaperTable2.SproutRmO[i], PaperTable2.SproutRmO[i]/PaperTable2.ManualRmO[i])
+	}
+	if err := tl.Render(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w)
+	if err := tr.Render(w); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"sprout/internal/cases"
+	"sprout/internal/report"
+)
+
+// PaperTable3 holds the paper's Table III values for the six-rail system.
+var PaperTable3 = struct {
+	Nets      []string
+	ManualL   []float64
+	SproutL   []float64
+	ManualRmO []float64
+	SproutRmO []float64
+}{
+	Nets:      []string{"V1", "V2", "V3", "V4", "V5", "V6"},
+	ManualL:   []float64{133, 103, 131, 161, 152, 116},
+	SproutL:   []float64{131, 99, 127, 155, 150, 114},
+	ManualRmO: []float64{15.0, 8.4, 13.0, 18.4, 18.5, 9.2},
+	SproutRmO: []float64{16.8, 9.1, 14.2, 18.2, 18.9, 9.2},
+}
+
+// Table3Row is one measured net of the six-rail comparison.
+type Table3Row struct {
+	Net                  string
+	ManualRmOhm          float64
+	SproutRmOhm          float64
+	ManualLpH, SproutLpH float64
+}
+
+// Table3Result is the measured Table III plus the synthesis wall clock
+// (the paper reports ~11 minutes for the six-rail board).
+type Table3Result struct {
+	Rows    []Table3Row
+	Elapsed time.Duration
+}
+
+// RunTable3 routes the Fig. 10 congested six-rail board with both flows.
+func RunTable3(outDir string) (*Table3Result, error) {
+	cs, err := cases.SixRail()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := routeCase(cs, true)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table3Result{Elapsed: time.Since(start)}
+	for _, rail := range res.Rails {
+		out.Rows = append(out.Rows, Table3Row{
+			Net:         rail.Name,
+			ManualRmOhm: rail.ManualExtract.ResistanceOhms * 1e3,
+			SproutRmOhm: rail.Extract.ResistanceOhms * 1e3,
+			ManualLpH:   rail.ManualExtract.InductancePH,
+			SproutLpH:   rail.Extract.InductancePH,
+		})
+	}
+	if outDir != "" {
+		if err := renderBoard(res, filepath.Join(outDir, "fig10_sprout.svg"), false); err != nil {
+			return nil, err
+		}
+		if err := renderBoard(res, filepath.Join(outDir, "fig10_manual.svg"), true); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Table3 runs the experiment and prints the paper-format table.
+func Table3(w io.Writer, outDir string) (*Table3Result, error) {
+	section(w, "E3 / Table III", "six-rail congested system: SPROUT vs manual (Fig. 10)")
+	res, err := RunTable3(outDir)
+	if err != nil {
+		return nil, err
+	}
+	tl := report.NewTable("Inductance @ 25 MHz (pH; ours absolute, paper normalized)",
+		"Net", "Manual", "SPROUT", "SPROUT/Manual", "paper Manual", "paper SPROUT", "paper ratio")
+	tr := report.NewTable("DC resistance (mΩ; ours absolute, paper normalized)",
+		"Net", "Manual", "SPROUT", "SPROUT/Manual", "paper Manual", "paper SPROUT", "paper ratio")
+	for i, row := range res.Rows {
+		tl.AddRow(row.Net, row.ManualLpH, row.SproutLpH, row.SproutLpH/row.ManualLpH,
+			PaperTable3.ManualL[i], PaperTable3.SproutL[i], PaperTable3.SproutL[i]/PaperTable3.ManualL[i])
+		tr.AddRow(row.Net, row.ManualRmOhm, row.SproutRmOhm, row.SproutRmOhm/row.ManualRmOhm,
+			PaperTable3.ManualRmO[i], PaperTable3.SproutRmO[i], PaperTable3.SproutRmO[i]/PaperTable3.ManualRmO[i])
+	}
+	if err := tl.Render(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w)
+	if err := tr.Render(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "\nsix-rail synthesis wall clock: %v (paper: ~11 min on an 8-core i7-6700)\n", res.Elapsed)
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package extract
+
+import (
+	"fmt"
+
+	"sprout/internal/geom"
+	"sprout/internal/route"
+	"sprout/internal/sparse"
+)
+
+// EdgeCurrent is the DC current in one tile-graph edge at the operating
+// point.
+type EdgeCurrent struct {
+	U, V int
+	Amps float64 // positive from U to V
+}
+
+// OperatingPoint is a full DC solution of a routed shape under a
+// distributed load: the PMIC terminal sources the total current and every
+// load terminal sinks its share — the paper's §III-C loading model ("the
+// current demand of each rail is uniformly distributed within the ball
+// grid array"). It exposes the node IR-drop map (Fig. 12c's underlying
+// field) and the per-edge currents that drive the thermal analysis.
+type OperatingPoint struct {
+	// TG is the extraction tile graph; Cells[i] locates node i.
+	TG *route.TileGraph
+	// NodeDropV is the IR drop of every node below the source, in volts.
+	NodeDropV []float64
+	// Edges lists the branch currents.
+	Edges []EdgeCurrent
+	// MaxDropV is the worst drop over the load terminals.
+	MaxDropV float64
+	// WorstLoad indexes the loads slice entry with the worst drop.
+	WorstLoad int
+	// TotalPowerW is the dissipated ohmic power at the operating point.
+	TotalPowerW float64
+}
+
+// DCOperate solves the distributed-load operating point of a copper shape:
+// source supplies totalA amperes; each load sinks a share proportional to
+// its Current weight.
+func DCOperate(shape geom.Region, source route.Terminal, loads []route.Terminal, totalA float64, opt Options) (*OperatingPoint, error) {
+	opt = opt.withDefaults()
+	if totalA <= 0 {
+		return nil, fmt.Errorf("extract: total current %g must be positive", totalA)
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("extract: no loads")
+	}
+	terms := append([]route.Terminal{source}, loads...)
+	tg, err := route.BuildTileGraph(shape, terms, opt.Pitch, opt.Pitch)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	// Conductance edges in siemens: squares / sheetOhms.
+	var edges []sparse.WeightedEdge
+	for _, e := range tg.G.Edges() {
+		edges = append(edges, sparse.WeightedEdge{U: e.U, V: e.V, W: e.Weight / opt.SheetOhms})
+	}
+	srcNode := tg.Terminals[0]
+	lap, err := sparse.NewLaplacian(tg.G.N(), edges, srcNode)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	// Load shares.
+	var wsum float64
+	for _, l := range loads {
+		w := l.Current
+		if w <= 0 {
+			w = 1
+		}
+		wsum += w
+	}
+	inj := make([]float64, tg.G.N())
+	inj[srcNode] = totalA
+	for i, l := range loads {
+		w := l.Current
+		if w <= 0 {
+			w = 1
+		}
+		inj[tg.Terminals[i+1]] -= totalA * w / wsum
+	}
+	v, err := lap.Solve(inj, nil)
+	if err != nil {
+		return nil, fmt.Errorf("extract: operating point: %w", err)
+	}
+	op := &OperatingPoint{TG: tg, NodeDropV: make([]float64, tg.G.N())}
+	// Source potential is 0 (ground reference); drops are -v.
+	for i, vi := range v {
+		op.NodeDropV[i] = -vi
+	}
+	op.WorstLoad = -1
+	for i := range loads {
+		if d := op.NodeDropV[tg.Terminals[i+1]]; op.WorstLoad == -1 || d > op.MaxDropV {
+			op.MaxDropV = d
+			op.WorstLoad = i
+		}
+	}
+	for _, e := range tg.G.Edges() {
+		g := e.Weight / opt.SheetOhms
+		i := g * (v[e.U] - v[e.V])
+		op.Edges = append(op.Edges, EdgeCurrent{U: e.U, V: e.V, Amps: i})
+		op.TotalPowerW += i * i / g
+	}
+	return op, nil
+}
+
+// NodeJouleHeat distributes the per-edge ohmic power onto the nodes (half
+// to each endpoint), the heat-source vector of the thermal analysis.
+func (op *OperatingPoint) NodeJouleHeat(sheetOhms float64) []float64 {
+	q := make([]float64, op.TG.G.N())
+	// Recover each edge's conductance from the graph for the power split.
+	type key struct{ u, v int }
+	gOf := map[key]float64{}
+	for _, e := range op.TG.G.Edges() {
+		gOf[key{e.U, e.V}] = e.Weight / sheetOhms
+	}
+	for _, ec := range op.Edges {
+		g := gOf[key{ec.U, ec.V}]
+		if g <= 0 {
+			continue
+		}
+		p := ec.Amps * ec.Amps / g
+		q[ec.U] += p / 2
+		q[ec.V] += p / 2
+	}
+	return q
+}

@@ -1,0 +1,164 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolygonSignedArea(t *testing.T) {
+	ccw := Poly(Pt(0, 0), Pt(4, 0), Pt(4, 3), Pt(0, 3))
+	if got := ccw.SignedArea2(); got != 24 {
+		t.Fatalf("ccw signed area2 = %d, want 24", got)
+	}
+	cw := Poly(Pt(0, 0), Pt(0, 3), Pt(4, 3), Pt(4, 0))
+	if got := cw.SignedArea2(); got != -24 {
+		t.Fatalf("cw signed area2 = %d, want -24", got)
+	}
+	if got := ccw.Area(); got != 12 {
+		t.Fatalf("area = %g, want 12", got)
+	}
+}
+
+func TestPolygonBounds(t *testing.T) {
+	p := Poly(Pt(2, -1), Pt(10, 4), Pt(-3, 7))
+	if got, want := p.Bounds(), (Rect{-3, -1, 10, 7}); got != want {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	tri := Poly(Pt(0, 0), Pt(10, 0), Pt(0, 10))
+	if !tri.Contains(Pt(2, 2)) {
+		t.Fatal("interior point")
+	}
+	if tri.Contains(Pt(8, 8)) {
+		t.Fatal("exterior point")
+	}
+	if tri.Contains(Pt(-1, 5)) {
+		t.Fatal("left of polygon")
+	}
+}
+
+func TestPolygonIsRectilinear(t *testing.T) {
+	if !PolyFromRect(Rect{0, 0, 5, 5}).IsRectilinear() {
+		t.Fatal("rect polygon is rectilinear")
+	}
+	if Poly(Pt(0, 0), Pt(10, 0), Pt(0, 10)).IsRectilinear() {
+		t.Fatal("triangle is not rectilinear")
+	}
+}
+
+func TestRasterizeRectExact(t *testing.T) {
+	p := PolyFromRect(Rect{3, 4, 17, 9})
+	g, err := p.Rasterize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regionEq(t, g, RegionFromRect(Rect{3, 4, 17, 9}), "rect rasterizes exactly")
+}
+
+func TestRasterizeLShapeExact(t *testing.T) {
+	// Counterclockwise L.
+	p := Poly(Pt(0, 0), Pt(10, 0), Pt(10, 4), Pt(4, 4), Pt(4, 10), Pt(0, 10))
+	g, err := p.Rasterize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RegionFromRects([]Rect{{0, 0, 10, 4}, {0, 4, 4, 10}})
+	regionEq(t, g, want, "rectilinear L rasterizes exactly regardless of pitch")
+	if got := g.Area(); got != 64 {
+		t.Fatalf("area = %d, want 64", got)
+	}
+}
+
+func TestRasterizeTriangleApprox(t *testing.T) {
+	p := Poly(Pt(0, 0), Pt(100, 0), Pt(0, 100))
+	g, err := p.Rasterize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stair-stepped area must be within a couple of band-areas of 5000.
+	got := float64(g.Area())
+	if math.Abs(got-5000) > 150 {
+		t.Fatalf("triangle raster area = %g, want ~5000", got)
+	}
+}
+
+func TestRasterizeErrors(t *testing.T) {
+	if _, err := Poly(Pt(0, 0), Pt(1, 1)).Rasterize(1); err == nil {
+		t.Fatal("2-vertex polygon must error")
+	}
+	if _, err := PolyFromRect(Rect{0, 0, 5, 5}).Rasterize(0); err == nil {
+		t.Fatal("pitch 0 must error")
+	}
+	// Degenerate zero-area polygon is fine and empty.
+	g, err := Poly(Pt(0, 0), Pt(5, 0), Pt(5, 0), Pt(0, 0)).Rasterize(1)
+	if err != nil || !g.Empty() {
+		t.Fatalf("degenerate polygon: g=%v err=%v", g, err)
+	}
+}
+
+func TestCircle(t *testing.T) {
+	g := Circle(Pt(0, 0), 50, 1)
+	area := float64(g.Area())
+	ideal := math.Pi * 50 * 50
+	if math.Abs(area-ideal)/ideal > 0.03 {
+		t.Fatalf("circle area %g deviates >3%% from %g", area, ideal)
+	}
+	if !g.Contains(Pt(0, 0)) {
+		t.Fatal("circle contains center")
+	}
+	if g.Contains(Pt(49, 49)) {
+		t.Fatal("circle excludes corner")
+	}
+	if !Circle(Pt(0, 0), 0, 1).Empty() {
+		t.Fatal("zero-radius circle empty")
+	}
+}
+
+func TestOctagon(t *testing.T) {
+	g := Octagon(Pt(100, 100), 20)
+	if g.Empty() {
+		t.Fatal("octagon not empty")
+	}
+	if !g.Contains(Pt(100, 100)) {
+		t.Fatal("octagon contains center")
+	}
+	if g.Contains(Pt(119, 119)) {
+		t.Fatal("octagon chamfers corners")
+	}
+	b := g.Bounds()
+	if b.W() != 40 || b.H() != 40 {
+		t.Fatalf("octagon bbox = %v, want 40x40", b)
+	}
+}
+
+func TestQuickRasterizeRectilinearMatchesRegion(t *testing.T) {
+	// For unions of rects, tracing to polygons and re-rasterizing must give
+	// back the identical region (round-trip through the polygon domain).
+	rng := rand.New(rand.NewSource(9))
+	f := func() bool {
+		g := randomRegion(rng)
+		var back Region
+		for _, pw := range g.Polygons() {
+			outer, err := pw.Outer.Rasterize(1)
+			if err != nil {
+				return false
+			}
+			for _, h := range pw.Holes {
+				hr, err := h.Rasterize(1)
+				if err != nil {
+					return false
+				}
+				outer = outer.Subtract(hr)
+			}
+			back = back.Union(outer)
+		}
+		return back.Equal(g)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,594 @@
+package geom
+
+import (
+	"sort"
+	"strings"
+)
+
+// span is a half-open x interval [X0, X1).
+type span struct {
+	X0, X1 int64
+}
+
+// band is a horizontal slab [Y0, Y1) covered by a sorted list of disjoint,
+// non-touching spans.
+type band struct {
+	Y0, Y1 int64
+	Spans  []span
+}
+
+// Region is a set of points in the plane represented canonically as a list
+// of horizontal bands. The canonical form satisfies:
+//
+//   - bands are sorted by Y0 and disjoint in y;
+//   - within a band, spans are sorted by X0, disjoint and non-touching
+//     (touching spans are merged);
+//   - no band is empty;
+//   - vertically adjacent bands with identical span lists are merged.
+//
+// Canonical form makes equality, area and boolean operations exact and
+// deterministic. The zero value is the empty region. Regions are immutable:
+// every operation returns a new Region.
+type Region struct {
+	bands []band
+}
+
+// EmptyRegion returns the empty region.
+func EmptyRegion() Region { return Region{} }
+
+// RegionFromRect returns the region covering exactly r.
+func RegionFromRect(r Rect) Region {
+	if r.Empty() {
+		return Region{}
+	}
+	return Region{bands: []band{{r.Y0, r.Y1, []span{{r.X0, r.X1}}}}}
+}
+
+// RegionFromRects returns the union of the given rectangles in canonical
+// form. Overlapping and touching rectangles are merged.
+func RegionFromRects(rects []Rect) Region {
+	// Collect y breakpoints.
+	ys := make([]int64, 0, 2*len(rects))
+	live := rects[:0:0]
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		live = append(live, r)
+		ys = append(ys, r.Y0, r.Y1)
+	}
+	if len(live) == 0 {
+		return Region{}
+	}
+	ys = uniqueSorted(ys)
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].Y0 != live[j].Y0 {
+			return live[i].Y0 < live[j].Y0
+		}
+		return live[i].X0 < live[j].X0
+	})
+	var bands []band
+	for i := 0; i+1 < len(ys); i++ {
+		y0, y1 := ys[i], ys[i+1]
+		var spans []span
+		for _, r := range live {
+			if r.Y0 >= y1 {
+				break // sorted by Y0; nothing further can cover this slab
+			}
+			if r.Y0 <= y0 && r.Y1 >= y1 {
+				spans = append(spans, span{r.X0, r.X1})
+			}
+		}
+		if len(spans) == 0 {
+			continue
+		}
+		bands = append(bands, band{y0, y1, mergeSpans(spans)})
+	}
+	return Region{bands: coalesceBands(bands)}
+}
+
+// uniqueSorted sorts v and removes duplicates in place.
+func uniqueSorted(v []int64) []int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// mergeSpans sorts spans and merges overlapping or touching ones.
+func mergeSpans(spans []span) []span {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].X0 < spans[j].X0 })
+	out := spans[:0]
+	for _, s := range spans {
+		if s.X1 <= s.X0 {
+			continue
+		}
+		if n := len(out); n > 0 && s.X0 <= out[n-1].X1 {
+			if s.X1 > out[n-1].X1 {
+				out[n-1].X1 = s.X1
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// coalesceBands merges vertically adjacent bands with identical span lists
+// and drops empty bands.
+func coalesceBands(bands []band) []band {
+	out := bands[:0]
+	for _, b := range bands {
+		if b.Y1 <= b.Y0 || len(b.Spans) == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Y1 == b.Y0 && spansEqual(out[n-1].Spans, b.Spans) {
+			out[n-1].Y1 = b.Y1
+			continue
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func spansEqual(a, b []span) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the region covers no area.
+func (g Region) Empty() bool { return len(g.bands) == 0 }
+
+// Area returns the total covered area.
+func (g Region) Area() int64 {
+	var total int64
+	for _, b := range g.bands {
+		h := b.Y1 - b.Y0
+		for _, s := range b.Spans {
+			total += h * (s.X1 - s.X0)
+		}
+	}
+	return total
+}
+
+// Bounds returns the bounding box of the region (empty Rect if empty).
+func (g Region) Bounds() Rect {
+	if g.Empty() {
+		return Rect{}
+	}
+	out := Rect{g.bands[0].Spans[0].X0, g.bands[0].Y0, g.bands[0].Spans[0].X1, g.bands[len(g.bands)-1].Y1}
+	for _, b := range g.bands {
+		out.X0 = minInt64(out.X0, b.Spans[0].X0)
+		out.X1 = maxInt64(out.X1, b.Spans[len(b.Spans)-1].X1)
+	}
+	return out
+}
+
+// Rects returns the canonical rectangle decomposition of the region:
+// one rectangle per (band, span), sorted bottom-to-top then left-to-right.
+func (g Region) Rects() []Rect {
+	var out []Rect
+	for _, b := range g.bands {
+		for _, s := range b.Spans {
+			out = append(out, Rect{s.X0, b.Y0, s.X1, b.Y1})
+		}
+	}
+	return out
+}
+
+// NumRects returns the number of rectangles in the canonical decomposition.
+func (g Region) NumRects() int {
+	n := 0
+	for _, b := range g.bands {
+		n += len(b.Spans)
+	}
+	return n
+}
+
+// Contains reports whether p lies inside the region.
+func (g Region) Contains(p Point) bool {
+	i := sort.Search(len(g.bands), func(i int) bool { return g.bands[i].Y1 > p.Y })
+	if i == len(g.bands) || g.bands[i].Y0 > p.Y {
+		return false
+	}
+	sp := g.bands[i].Spans
+	j := sort.Search(len(sp), func(j int) bool { return sp[j].X1 > p.X })
+	return j < len(sp) && sp[j].X0 <= p.X
+}
+
+// ContainsRect reports whether r is entirely covered by the region.
+func (g Region) ContainsRect(r Rect) bool {
+	if r.Empty() {
+		return true
+	}
+	return RegionFromRect(r).Subtract(g).Empty()
+}
+
+// Equal reports whether two regions cover exactly the same points.
+func (g Region) Equal(h Region) bool {
+	if len(g.bands) != len(h.bands) {
+		return false
+	}
+	for i := range g.bands {
+		if g.bands[i].Y0 != h.bands[i].Y0 || g.bands[i].Y1 != h.bands[i].Y1 ||
+			!spansEqual(g.bands[i].Spans, h.bands[i].Spans) {
+			return false
+		}
+	}
+	return true
+}
+
+// boolOp combines two span lists per the truth table selected by keep.
+// keep(inA, inB) decides whether a segment is in the output.
+func spanBool(a, b []span, keep func(bool, bool) bool) []span {
+	// Sweep over merged breakpoints.
+	var xs []int64
+	for _, s := range a {
+		xs = append(xs, s.X0, s.X1)
+	}
+	for _, s := range b {
+		xs = append(xs, s.X0, s.X1)
+	}
+	xs = uniqueSorted(xs)
+	var out []span
+	ia, ib := 0, 0
+	for i := 0; i+1 < len(xs); i++ {
+		x0, x1 := xs[i], xs[i+1]
+		for ia < len(a) && a[ia].X1 <= x0 {
+			ia++
+		}
+		for ib < len(b) && b[ib].X1 <= x0 {
+			ib++
+		}
+		inA := ia < len(a) && a[ia].X0 <= x0
+		inB := ib < len(b) && b[ib].X0 <= x0
+		if keep(inA, inB) {
+			if n := len(out); n > 0 && out[n-1].X1 == x0 {
+				out[n-1].X1 = x1
+			} else {
+				out = append(out, span{x0, x1})
+			}
+		}
+	}
+	return out
+}
+
+// combine applies a per-segment boolean op between g and h.
+func (g Region) combine(h Region, keep func(bool, bool) bool) Region {
+	if g.Empty() && h.Empty() {
+		return Region{}
+	}
+	var ys []int64
+	for _, b := range g.bands {
+		ys = append(ys, b.Y0, b.Y1)
+	}
+	for _, b := range h.bands {
+		ys = append(ys, b.Y0, b.Y1)
+	}
+	ys = uniqueSorted(ys)
+	var out []band
+	ig, ih := 0, 0
+	for i := 0; i+1 < len(ys); i++ {
+		y0, y1 := ys[i], ys[i+1]
+		for ig < len(g.bands) && g.bands[ig].Y1 <= y0 {
+			ig++
+		}
+		for ih < len(h.bands) && h.bands[ih].Y1 <= y0 {
+			ih++
+		}
+		var sa, sb []span
+		if ig < len(g.bands) && g.bands[ig].Y0 <= y0 {
+			sa = g.bands[ig].Spans
+		}
+		if ih < len(h.bands) && h.bands[ih].Y0 <= y0 {
+			sb = h.bands[ih].Spans
+		}
+		spans := spanBool(sa, sb, keep)
+		if len(spans) > 0 {
+			out = append(out, band{y0, y1, spans})
+		}
+	}
+	return Region{bands: coalesceBands(out)}
+}
+
+// Union returns the set union of g and h.
+func (g Region) Union(h Region) Region {
+	if g.Empty() {
+		return h
+	}
+	if h.Empty() {
+		return g
+	}
+	return g.combine(h, func(a, b bool) bool { return a || b })
+}
+
+// Intersect returns the set intersection of g and h.
+func (g Region) Intersect(h Region) Region {
+	if g.Empty() || h.Empty() {
+		return Region{}
+	}
+	if !g.Bounds().Overlaps(h.Bounds()) {
+		return Region{}
+	}
+	return g.combine(h, func(a, b bool) bool { return a && b })
+}
+
+// Subtract returns g minus h.
+func (g Region) Subtract(h Region) Region {
+	if g.Empty() || h.Empty() {
+		return g
+	}
+	if !g.Bounds().Overlaps(h.Bounds()) {
+		return g
+	}
+	return g.combine(h, func(a, b bool) bool { return a && !b })
+}
+
+// Xor returns the symmetric difference of g and h.
+func (g Region) Xor(h Region) Region {
+	return g.combine(h, func(a, b bool) bool { return a != b })
+}
+
+// IntersectRect is a fast path for clipping the region to a rectangle.
+func (g Region) IntersectRect(r Rect) Region {
+	if r.Empty() || g.Empty() {
+		return Region{}
+	}
+	var out []band
+	for _, b := range g.bands {
+		y0, y1 := maxInt64(b.Y0, r.Y0), minInt64(b.Y1, r.Y1)
+		if y0 >= y1 {
+			continue
+		}
+		var spans []span
+		for _, s := range b.Spans {
+			x0, x1 := maxInt64(s.X0, r.X0), minInt64(s.X1, r.X1)
+			if x0 < x1 {
+				spans = append(spans, span{x0, x1})
+			}
+		}
+		if len(spans) > 0 {
+			out = append(out, band{y0, y1, spans})
+		}
+	}
+	return Region{bands: coalesceBands(out)}
+}
+
+// Overlaps reports whether g and h share any area, without materializing
+// the intersection.
+func (g Region) Overlaps(h Region) bool {
+	if g.Empty() || h.Empty() || !g.Bounds().Overlaps(h.Bounds()) {
+		return false
+	}
+	ig, ih := 0, 0
+	for ig < len(g.bands) && ih < len(h.bands) {
+		a, b := g.bands[ig], h.bands[ih]
+		if a.Y1 <= b.Y0 {
+			ig++
+			continue
+		}
+		if b.Y1 <= a.Y0 {
+			ih++
+			continue
+		}
+		// Bands overlap in y; check spans.
+		ja, jb := 0, 0
+		for ja < len(a.Spans) && jb < len(b.Spans) {
+			if a.Spans[ja].X1 <= b.Spans[jb].X0 {
+				ja++
+			} else if b.Spans[jb].X1 <= a.Spans[ja].X0 {
+				jb++
+			} else {
+				return true
+			}
+		}
+		if a.Y1 <= b.Y1 {
+			ig++
+		} else {
+			ih++
+		}
+	}
+	return false
+}
+
+// Bloat returns the morphological dilation of the region by a square
+// structuring element of half-width d (Minkowski sum with a 2d x 2d
+// square). This implements the "buffer" of paper Fig. 4: the region of
+// points within Chebyshev distance d of the shape. d <= 0 returns g.
+func (g Region) Bloat(d int64) Region {
+	if d <= 0 || g.Empty() {
+		return g
+	}
+	rects := g.Rects()
+	for i := range rects {
+		rects[i] = rects[i].Expand(d)
+	}
+	return RegionFromRects(rects)
+}
+
+// Erode returns the morphological erosion of the region by a square
+// structuring element of half-width d: the set of points whose d-square
+// neighbourhood lies entirely inside g. Erode is the dual of Bloat:
+// Erode(g, d) == complement(Bloat(complement(g), d)).
+func (g Region) Erode(d int64) Region {
+	if d <= 0 || g.Empty() {
+		return g
+	}
+	frame := g.Bounds().Expand(2 * d)
+	comp := RegionFromRect(frame).Subtract(g)
+	return g.Subtract(comp.Bloat(d))
+}
+
+// Translate shifts the whole region by the vector p.
+func (g Region) Translate(p Point) Region {
+	if g.Empty() {
+		return g
+	}
+	out := make([]band, len(g.bands))
+	for i, b := range g.bands {
+		spans := make([]span, len(b.Spans))
+		for j, s := range b.Spans {
+			spans[j] = span{s.X0 + p.X, s.X1 + p.X}
+		}
+		out[i] = band{b.Y0 + p.Y, b.Y1 + p.Y, spans}
+	}
+	return Region{bands: out}
+}
+
+// Components splits the region into edge-connected components.
+// Two rectangles belong to the same component when
+// they share a boundary segment of positive length. Corner-touching pieces
+// are separate components, matching the electrical connectivity model: a
+// zero-width contact carries no current (paper Fig. 6 assigns conductance
+// proportional to contact width).
+func (g Region) Components() []Region {
+	rects := g.Rects()
+	n := len(rects)
+	if n == 0 {
+		return nil
+	}
+	uf := newUnionFind(n)
+	// Within a band, spans never touch (canonical form), so only vertical
+	// adjacency matters. Band rectangles are emitted bottom-to-top, so for
+	// each band find the next band and match overlapping spans.
+	// Build index of rect -> (band, span) implicitly by re-walking bands.
+	type bandRange struct{ lo, hi int } // rect index range of a band
+	var ranges []bandRange
+	idx := 0
+	for _, b := range g.bands {
+		ranges = append(ranges, bandRange{idx, idx + len(b.Spans)})
+		idx += len(b.Spans)
+	}
+	for bi := 0; bi+1 < len(g.bands); bi++ {
+		lower, upper := g.bands[bi], g.bands[bi+1]
+		if lower.Y1 != upper.Y0 {
+			continue
+		}
+		ju := 0
+		for jl, s := range lower.Spans {
+			for ju < len(upper.Spans) && upper.Spans[ju].X1 <= s.X0 {
+				ju++
+			}
+			for k := ju; k < len(upper.Spans) && upper.Spans[k].X0 < s.X1; k++ {
+				// Positive-length overlap joins the components.
+				uf.union(ranges[bi].lo+jl, ranges[bi+1].lo+k)
+			}
+		}
+	}
+	groups := map[int][]Rect{}
+	for i, r := range rects {
+		root := uf.find(i)
+		groups[root] = append(groups[root], r)
+	}
+	out := make([]Region, 0, len(groups))
+	roots := make([]int, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		out = append(out, RegionFromRects(groups[root]))
+	}
+	return out
+}
+
+// unionFind is a standard disjoint-set forest with path compression.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(i int) int {
+	for uf.parent[i] != i {
+		uf.parent[i] = uf.parent[uf.parent[i]]
+		i = uf.parent[i]
+	}
+	return i
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// String renders a compact band listing, useful in test failures.
+func (g Region) String() string {
+	if g.Empty() {
+		return "{}"
+	}
+	var sb strings.Builder
+	for i, b := range g.bands {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		_, _ = sb.WriteString("y[")
+		writeInt(&sb, b.Y0)
+		sb.WriteByte(',')
+		writeInt(&sb, b.Y1)
+		sb.WriteString("):")
+		for j, s := range b.Spans {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte('[')
+			writeInt(&sb, s.X0)
+			sb.WriteByte(',')
+			writeInt(&sb, s.X1)
+			sb.WriteByte(')')
+		}
+	}
+	return sb.String()
+}
+
+func writeInt(sb *strings.Builder, v int64) {
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	sb.Write(buf[i:])
+}

@@ -1,0 +1,176 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRect(t *testing.T) {
+	g := RegionFromRect(Rect{0, 0, 10, 5})
+	loops := g.Trace()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if len(l.V) != 4 {
+		t.Fatalf("rect loop vertices = %d, want 4: %v", len(l.V), l.V)
+	}
+	if l.SignedArea2() != 100 {
+		t.Fatalf("signed area2 = %d, want 100 (CCW)", l.SignedArea2())
+	}
+}
+
+func TestTraceLShape(t *testing.T) {
+	g := RegionFromRects([]Rect{{0, 0, 10, 4}, {0, 4, 4, 10}})
+	loops := g.Trace()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	if got := len(loops[0].V); got != 6 {
+		t.Fatalf("L-shape vertices = %d, want 6: %v", got, loops[0].V)
+	}
+	if loops[0].SignedArea2() != 2*64 {
+		t.Fatalf("L-shape area2 = %d, want 128", loops[0].SignedArea2())
+	}
+}
+
+func TestTraceHole(t *testing.T) {
+	g := RegionFromRect(Rect{0, 0, 10, 10}).Subtract(RegionFromRect(Rect{4, 4, 6, 6}))
+	loops := g.Trace()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2 (outer+hole)", len(loops))
+	}
+	var outer, hole *Loop
+	for i := range loops {
+		if loops[i].IsHole() {
+			hole = &loops[i]
+		} else {
+			outer = &loops[i]
+		}
+	}
+	if outer == nil || hole == nil {
+		t.Fatalf("expected one outer and one hole, got %+v", loops)
+	}
+	if outer.SignedArea2() != 200 {
+		t.Fatalf("outer area2 = %d, want 200", outer.SignedArea2())
+	}
+	if hole.SignedArea2() != -8 {
+		t.Fatalf("hole area2 = %d, want -8", hole.SignedArea2())
+	}
+
+	pws := g.Polygons()
+	if len(pws) != 1 || len(pws[0].Holes) != 1 {
+		t.Fatalf("polygons grouping = %+v, want 1 outer with 1 hole", pws)
+	}
+}
+
+func TestTraceTwoComponents(t *testing.T) {
+	g := RegionFromRects([]Rect{{0, 0, 3, 3}, {10, 10, 13, 13}})
+	loops := g.Trace()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	for _, l := range loops {
+		if l.IsHole() {
+			t.Fatalf("disjoint squares should have no holes: %v", l.V)
+		}
+	}
+}
+
+func TestTraceCornerTouch(t *testing.T) {
+	// Two squares sharing only the corner (1,1): two separate CCW loops.
+	g := RegionFromRects([]Rect{{0, 0, 1, 1}, {1, 1, 2, 2}})
+	loops := g.Trace()
+	if len(loops) != 2 {
+		t.Fatalf("corner-touch loops = %d, want 2: %+v", len(loops), loops)
+	}
+	for _, l := range loops {
+		if l.SignedArea2() != 2 {
+			t.Fatalf("each unit square loop area2 = %d, want 2", l.SignedArea2())
+		}
+		if len(l.V) != 4 {
+			t.Fatalf("unit square loop must have 4 vertices, got %v", l.V)
+		}
+	}
+}
+
+func TestTraceCheckerboardVertexWithHole(t *testing.T) {
+	// Big square minus two sub-squares meeting at the center: the remaining
+	// region is two corner-touching squares.
+	g := RegionFromRect(Rect{0, 0, 2, 2}).
+		Subtract(RegionFromRect(Rect{0, 0, 1, 1})).
+		Subtract(RegionFromRect(Rect{1, 1, 2, 2}))
+	loops := g.Trace()
+	if len(loops) != 2 {
+		t.Fatalf("pinwheel loops = %d, want 2", len(loops))
+	}
+	var total int64
+	for _, l := range loops {
+		if l.IsHole() {
+			t.Fatal("no holes expected")
+		}
+		total += l.SignedArea2()
+	}
+	if total != 4 {
+		t.Fatalf("total area2 = %d, want 4", total)
+	}
+}
+
+func TestVertexCount(t *testing.T) {
+	g := RegionFromRects([]Rect{{0, 0, 10, 4}, {0, 4, 4, 10}})
+	if got := g.VertexCount(); got != 6 {
+		t.Fatalf("vertex count = %d, want 6", got)
+	}
+}
+
+func TestQuickTraceAreaMatches(t *testing.T) {
+	// Sum of signed loop areas equals region area for any region.
+	rng := rand.New(rand.NewSource(10))
+	f := func() bool {
+		g := randomRegion(rng)
+		var area2 int64
+		for _, l := range g.Trace() {
+			area2 += l.SignedArea2()
+		}
+		return area2 == 2*g.Area()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTraceLoopsClosedRectilinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		g := randomRegion(rng)
+		for _, l := range g.Trace() {
+			n := len(l.V)
+			if n < 4 || n%2 != 0 {
+				return false // rectilinear loops have an even vertex count
+			}
+			for i := 0; i < n; i++ {
+				a, b := l.V[i], l.V[(i+1)%n]
+				if a.X != b.X && a.Y != b.Y {
+					return false // every edge axis-parallel
+				}
+				if a == b {
+					return false // no zero-length edges
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustRasterizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mustRasterize must panic on invalid input")
+		}
+	}()
+	mustRasterize(Poly(Pt(0, 0)), 1)
+}

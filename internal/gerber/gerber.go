@@ -1,0 +1,101 @@
+// Package gerber emits synthesized copper as RS-274X (Gerber) layer files,
+// the interchange format downstream PCB fabrication and CAD flows consume.
+// Regions are written as G36/G37 contour fills: each traced outer boundary
+// is drawn with dark polarity and its holes with clear polarity, so the
+// imported artwork matches the Region geometry exactly.
+//
+// Coordinates use the 4.6 format in millimetres; one geometry grid unit is
+// 0.1 mm (the convention of the case studies), configurable via UnitMM.
+package gerber
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"sprout/internal/geom"
+)
+
+// Options configures the writer.
+type Options struct {
+	// UnitMM is the size of one geometry grid unit in millimetres.
+	// Zero selects 0.1 mm.
+	UnitMM float64
+	// Comment is an optional header comment (tool stamp).
+	Comment string
+	// Timestamp is embedded in the header when non-zero (kept injectable
+	// for reproducible output and tests).
+	Timestamp time.Time
+}
+
+// NetCopper is one net's copper on the layer being written.
+type NetCopper struct {
+	Name   string
+	Copper geom.Region
+}
+
+// Write emits one Gerber layer file containing the given nets' copper.
+func Write(w io.Writer, layerName string, nets []NetCopper, opt Options) error {
+	unit := opt.UnitMM
+	if unit == 0 {
+		unit = 0.1
+	}
+	if unit <= 0 {
+		return fmt.Errorf("gerber: non-positive unit %g", unit)
+	}
+	var sb strings.Builder
+	sb.WriteString("%TF.GenerationSoftware,sprout,PDN router*%\n")
+	if opt.Comment != "" {
+		fmt.Fprintf(&sb, "G04 %s*\n", sanitize(opt.Comment))
+	}
+	if !opt.Timestamp.IsZero() {
+		fmt.Fprintf(&sb, "%%TF.CreationDate,%s*%%\n", opt.Timestamp.Format(time.RFC3339))
+	}
+	fmt.Fprintf(&sb, "%%TF.FileFunction,Copper,L1,%s*%%\n", sanitize(layerName))
+	sb.WriteString("%FSLAX46Y46*%\n")
+	sb.WriteString("%MOMM*%\n")
+	sb.WriteString("G01*\n")
+
+	coord := func(v int64) int64 {
+		// 4.6 format: value in units of 1e-6 mm.
+		return int64(float64(v) * unit * 1e6)
+	}
+	emitLoop := func(loop geom.Loop) {
+		sb.WriteString("G36*\n")
+		for i, p := range loop.V {
+			op := "D01"
+			if i == 0 {
+				op = "D02"
+			}
+			fmt.Fprintf(&sb, "X%dY%d%s*\n", coord(p.X), coord(p.Y), op)
+		}
+		// Close the contour back to the first vertex.
+		fmt.Fprintf(&sb, "X%dY%dD01*\n", coord(loop.V[0].X), coord(loop.V[0].Y))
+		sb.WriteString("G37*\n")
+	}
+
+	for _, net := range nets {
+		if net.Copper.Empty() {
+			continue
+		}
+		fmt.Fprintf(&sb, "G04 net %s*\n", sanitize(net.Name))
+		for _, pw := range net.Copper.Polygons() {
+			sb.WriteString("%LPD*%\n")
+			emitLoop(geom.Loop{V: pw.Outer.V})
+			for _, hole := range pw.Holes {
+				sb.WriteString("%LPC*%\n")
+				emitLoop(geom.Loop{V: hole.V})
+			}
+		}
+	}
+	sb.WriteString("M02*\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// sanitize strips characters that terminate Gerber data blocks.
+func sanitize(s string) string {
+	r := strings.NewReplacer("*", "_", "%", "_", "\n", " ")
+	return r.Replace(s)
+}

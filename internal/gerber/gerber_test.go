@@ -1,0 +1,116 @@
+package gerber
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sprout/internal/geom"
+)
+
+func render(t *testing.T, nets []NetCopper, opt Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, "pwr", nets, opt); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestGerberHeaderAndTrailer(t *testing.T) {
+	out := render(t, nil, Options{Comment: "hello"})
+	for _, want := range []string{
+		"%FSLAX46Y46*%", "%MOMM*%", "G01*", "M02*",
+		"%TF.FileFunction,Copper,L1,pwr*%", "G04 hello*",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGerberRegionContours(t *testing.T) {
+	g := geom.RegionFromRect(geom.R(0, 0, 10, 10)).
+		Subtract(geom.RegionFromRect(geom.R(4, 4, 6, 6)))
+	out := render(t, []NetCopper{{Name: "VDD", Copper: g}}, Options{})
+	if strings.Count(out, "G36*") != 2 || strings.Count(out, "G37*") != 2 {
+		t.Fatalf("want 2 contours (outer + hole):\n%s", out)
+	}
+	if strings.Count(out, "%LPD*%") != 1 || strings.Count(out, "%LPC*%") != 1 {
+		t.Fatalf("polarity switches wrong:\n%s", out)
+	}
+	// 0.1 mm units, 4.6 format: x=10 units -> 1 mm -> 1000000.
+	if !strings.Contains(out, "X1000000Y0D01*") {
+		t.Fatalf("coordinate scaling wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "G04 net VDD*") {
+		t.Fatal("net comment missing")
+	}
+}
+
+func TestGerberCustomUnit(t *testing.T) {
+	g := geom.RegionFromRect(geom.R(0, 0, 2, 2))
+	out := render(t, []NetCopper{{Name: "v", Copper: g}}, Options{UnitMM: 1})
+	// 2 units at 1 mm = 2 mm = 2000000.
+	if !strings.Contains(out, "X2000000Y0D01*") {
+		t.Fatalf("custom unit scaling wrong:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "x", nil, Options{UnitMM: -1}); err == nil {
+		t.Fatal("negative unit must error")
+	}
+}
+
+func TestGerberDeterministicAndTimestamp(t *testing.T) {
+	g := geom.RegionFromRects([]geom.Rect{{X0: 0, Y0: 0, X1: 5, Y1: 5}, {X0: 10, Y0: 0, X1: 15, Y1: 5}})
+	nets := []NetCopper{{Name: "a", Copper: g}}
+	ts := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	a := render(t, nets, Options{Timestamp: ts})
+	b := render(t, nets, Options{Timestamp: ts})
+	if a != b {
+		t.Fatal("output must be deterministic")
+	}
+	if !strings.Contains(a, "2026-07-04T12:00:00Z") {
+		t.Fatal("timestamp missing")
+	}
+}
+
+func TestGerberSanitize(t *testing.T) {
+	out := render(t, []NetCopper{{
+		Name:   "bad*name%",
+		Copper: geom.RegionFromRect(geom.R(0, 0, 1, 1)),
+	}}, Options{})
+	if strings.Contains(out, "bad*name") {
+		t.Fatal("asterisk must be sanitized from names")
+	}
+	if !strings.Contains(out, "bad_name_") {
+		t.Fatalf("sanitized name missing:\n%s", out)
+	}
+}
+
+func TestGerberSkipsEmptyNets(t *testing.T) {
+	out := render(t, []NetCopper{{Name: "empty"}}, Options{})
+	if strings.Contains(out, "G36*") {
+		t.Fatal("empty net must not emit contours")
+	}
+}
+
+func TestGerberClosedContours(t *testing.T) {
+	// Every G36 block must end at its starting coordinate.
+	g := geom.RegionFromRects([]geom.Rect{{X0: 0, Y0: 0, X1: 10, Y1: 4}, {X0: 0, Y0: 4, X1: 4, Y1: 10}})
+	out := render(t, []NetCopper{{Name: "L", Copper: g}}, Options{})
+	blocks := strings.Split(out, "G36*")
+	for _, blk := range blocks[1:] {
+		end := strings.Index(blk, "G37*")
+		if end < 0 {
+			t.Fatal("unterminated contour")
+		}
+		lines := strings.Split(strings.TrimSpace(blk[:end]), "\n")
+		first := strings.TrimSuffix(lines[0], "D02*")
+		last := strings.TrimSuffix(lines[len(lines)-1], "D01*")
+		if first != last {
+			t.Fatalf("contour not closed: %q vs %q", first, last)
+		}
+	}
+}

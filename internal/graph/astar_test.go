@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gridGraph builds a w x h unit-cost grid and returns it with a Manhattan
+// heuristic toward the given target.
+func gridGraph(w, h int) (*Graph, func(dst int) func(int) float64) {
+	g := New(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				_ = g.AddEdge(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < h {
+				_ = g.AddEdge(id(x, y), id(x, y+1), 1)
+			}
+		}
+	}
+	heur := func(dst int) func(int) float64 {
+		dx, dy := dst%w, dst/w
+		return func(u int) float64 {
+			ux, uy := u%w, u/w
+			return math.Abs(float64(ux-dx)) + math.Abs(float64(uy-dy))
+		}
+	}
+	return g, heur
+}
+
+func TestAStarMatchesDijkstraOnGrid(t *testing.T) {
+	g, heur := gridGraph(20, 15)
+	src, dst := 0, 20*15-1
+	_, want, err := g.ShortestPath(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, got, _, err := g.AStarPath(src, dst, heur(dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("A* cost %g != Dijkstra %g", got, want)
+	}
+	if path[0] != src || path[len(path)-1] != dst {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+}
+
+func TestAStarExpandsFewerNodes(t *testing.T) {
+	g, heur := gridGraph(40, 40)
+	src, dst := 0, 40*40-1
+	_, _, expandedZero, err := g.AStarPath(src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, expandedHeur, err := g.AStarPath(src, dst, heur(dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expandedHeur >= expandedZero {
+		t.Fatalf("heuristic must reduce expansions: %d vs %d", expandedHeur, expandedZero)
+	}
+}
+
+func TestAStarUnreachableAndValidation(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(0, 1, 1)
+	if _, _, _, err := g.AStarPath(0, 3, nil); err == nil {
+		t.Fatal("unreachable must error")
+	}
+	if _, _, _, err := g.AStarPath(-1, 3, nil); err == nil {
+		t.Fatal("bad src must error")
+	}
+	if _, _, _, err := g.AStarPath(0, 9, nil); err == nil {
+		t.Fatal("bad dst must error")
+	}
+	// src == dst is a zero-cost single-node path.
+	p, c, _, err := g.AStarPath(1, 1, nil)
+	if err != nil || c != 0 || len(p) != 1 {
+		t.Fatalf("self path = %v cost %g err %v", p, c, err)
+	}
+}
+
+func TestQuickAStarOptimalOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func() bool {
+		n := 3 + rng.Intn(25)
+		g := New(n)
+		for k := 0; k < 3*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = g.AddEdge(u, v, 0.1+rng.Float64()*5)
+			}
+		}
+		src, dst := rng.Intn(n), rng.Intn(n)
+		dWant, _, err := g.Dijkstra(src)
+		if err != nil {
+			return false
+		}
+		_, got, _, err := g.AStarPath(src, dst, nil)
+		if math.IsInf(dWant[dst], 1) {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-dWant[dst]) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(78))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, g *Graph, u, v int, w float64) {
+	t.Helper()
+	if err := g.AddEdge(u, v, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Fatal("out-of-range edge must error")
+	}
+	if err := g.AddEdge(1, 1, 1); err == nil {
+		t.Fatal("self loop must error")
+	}
+	if err := g.AddEdge(0, 1, -1); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	if err := g.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("M=%d deg0=%d deg1=%d", g.M(), g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestNeighborsAndEdges(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 2, 2)
+	mustAdd(t, g, 2, 3, 3)
+	var got []int
+	g.Neighbors(0, func(v int, w float64) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("neighbors of 0 = %v", got)
+	}
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	want := []Edge{{0, 1, 1}, {0, 2, 2}, {2, 3, 3}}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestDijkstraSimple(t *testing.T) {
+	//  0 --1-- 1 --1-- 2
+	//   \------5------/
+	g := New(3)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 0, 2, 5)
+	path, cost, err := g.ShortestPath(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Fatalf("cost = %g, want 2", cost)
+	}
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("path = %v, want [0 1 2]", path)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	if _, _, err := g.ShortestPath(0, 3); err == nil {
+		t.Fatal("unreachable node must error")
+	}
+	dist, _, err := g.Dijkstra(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[3], 1) {
+		t.Fatalf("unreachable dist = %g, want +Inf", dist[3])
+	}
+}
+
+func TestShortestPathsOneToMany(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		mustAdd(t, g, i, i+1, float64(i+1))
+	}
+	paths, err := g.ShortestPaths(0, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || len(paths[0]) != 3 || len(paths[1]) != 5 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestQuickDijkstraMatchesBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		mEdges := n + rng.Intn(3*n)
+		for k := 0; k < mEdges; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = g.AddEdge(u, v, rng.Float64()*10)
+			}
+		}
+		src := rng.Intn(n)
+		d1, _, err := g.Dijkstra(src)
+		if err != nil {
+			return false
+		}
+		d2, err := g.BellmanFord(src)
+		if err != nil {
+			return false
+		}
+		for i := range d1 {
+			if math.IsInf(d1[i], 1) != math.IsInf(d2[i], 1) {
+				return false
+			}
+			if !math.IsInf(d1[i], 1) && math.Abs(d1[i]-d2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 3, 4, 1)
+	label, n := g.Components()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if label[0] != label[2] || label[3] != label[4] || label[0] == label[3] || label[5] == label[0] {
+		t.Fatalf("labels = %v", label)
+	}
+	if !g.Connected(0, 1, 2) {
+		t.Fatal("0,1,2 connected")
+	}
+	if g.Connected(0, 5) {
+		t.Fatal("0,5 not connected")
+	}
+	if !g.Connected(3) || !g.Connected() {
+		t.Fatal("trivial cases are connected")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 2)
+	mustAdd(t, g, 2, 3, 3)
+	mustAdd(t, g, 3, 4, 4)
+	sub, orig := g.InducedSubgraph([]int{1, 2, 4, 2}) // duplicate ignored
+	if sub.N() != 3 {
+		t.Fatalf("sub nodes = %d, want 3", sub.N())
+	}
+	if sub.M() != 1 {
+		t.Fatalf("sub edges = %d, want 1 (only 1-2 survives)", sub.M())
+	}
+	if len(orig) != 3 || orig[0] != 1 || orig[1] != 2 || orig[2] != 4 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	// Path 0-1-2-3-4, inside = {1,2}: boundary = {0,3}.
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		mustAdd(t, g, i, i+1, 1)
+	}
+	inside := []bool{false, true, true, false, false}
+	b := g.Boundary(inside)
+	if len(b) != 2 || b[0] != 0 || b[1] != 3 {
+		t.Fatalf("boundary = %v, want [0 3]", b)
+	}
+}
+
+func TestBFSDist(t *testing.T) {
+	g := New(5)
+	mustAdd(t, g, 0, 1, 9)
+	mustAdd(t, g, 1, 2, 9)
+	mustAdd(t, g, 0, 3, 9)
+	d := g.BFSDist(0)
+	want := []int{0, 1, 2, 1, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("bfs dist = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestMultiEdgePathUsesCheapest(t *testing.T) {
+	g := New(2)
+	mustAdd(t, g, 0, 1, 5)
+	mustAdd(t, g, 0, 1, 2)
+	_, cost, err := g.ShortestPath(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Fatalf("multi-edge cost = %g, want 2", cost)
+	}
+}

@@ -1,0 +1,166 @@
+// Package manual emulates the human PCB designer that SPROUT is compared
+// against in the paper's Tables II and III. The paper observes that
+// "regular geometries are utilized primarily in the manual layout": a
+// designer connects the PMIC to the BGA field with straight or L-shaped
+// copper trunks of uniform width. This package reproduces that style
+// deterministically: it finds the terminal-to-terminal backbone through
+// the available space, rectifies it into axis-aligned corridor rectangles
+// of one uniform width, and sizes the width so the copper area matches the
+// same budget given to SPROUT — an apples-to-apples baseline.
+package manual
+
+import (
+	"fmt"
+
+	"sprout/internal/geom"
+	"sprout/internal/route"
+)
+
+// Result is a manually-styled routed net.
+type Result struct {
+	// Shape is the corridor copper clipped to the available space.
+	Shape geom.Region
+	// Width is the uniform corridor width chosen to meet the area target.
+	Width int64
+}
+
+// Route produces a regular-geometry layout connecting the terminals with
+// uniform-width corridors whose total area approximates areaTarget.
+// tile sets the backbone search granularity (same units as the geometry).
+func Route(avail geom.Region, terms []route.Terminal, areaTarget int64, tile int64) (*Result, error) {
+	if areaTarget <= 0 {
+		return nil, fmt.Errorf("manual: area target %d must be positive", areaTarget)
+	}
+	if tile < 1 {
+		return nil, fmt.Errorf("manual: tile %d must be >= 1", tile)
+	}
+	tg, err := route.BuildTileGraph(avail, terms, tile, tile)
+	if err != nil {
+		return nil, fmt.Errorf("manual: %w", err)
+	}
+	polylines, err := backbones(tg)
+	if err != nil {
+		return nil, err
+	}
+
+	pads := geom.EmptyRegion()
+	for _, t := range terms {
+		pads = pads.Union(t.Shape)
+	}
+
+	// Binary search the corridor width to hit the area target. Wider
+	// corridors clip against the space, so area is monotone in width.
+	// Keep the candidate whose area lands closest to the target so the
+	// comparison against SPROUT uses equal metal.
+	lo, hi := int64(1), avail.Bounds().W()+avail.Bounds().H()
+	var best geom.Region
+	var bestW int64
+	var bestDiff int64 = -1
+	for lo <= hi {
+		w := (lo + hi) / 2
+		shape := corridors(polylines, w).Intersect(avail).Union(pads)
+		if !connectsAll(shape, terms) {
+			lo = w + 1 // too thin somewhere after clipping
+			continue
+		}
+		diff := shape.Area() - areaTarget
+		if diff < 0 {
+			diff = -diff
+		}
+		if bestDiff < 0 || diff < bestDiff {
+			best, bestW, bestDiff = shape, w, diff
+		}
+		if shape.Area() < areaTarget {
+			lo = w + 1
+		} else {
+			hi = w - 1
+		}
+	}
+	if best.Empty() {
+		return nil, fmt.Errorf("manual: no corridor width connects all terminals")
+	}
+	return &Result{Shape: best, Width: bestW}, nil
+}
+
+// backbones extracts the pairwise center-line polylines through the tile
+// graph.
+func backbones(tg *route.TileGraph) ([][]geom.Point, error) {
+	cost := tg.CostGraph()
+	var out [][]geom.Point
+	k := len(tg.Terminals)
+	for i := 0; i < k; i++ {
+		rest := tg.Terminals[i+1:]
+		if len(rest) == 0 {
+			break
+		}
+		paths, err := cost.ShortestPaths(tg.Terminals[i], rest)
+		if err != nil {
+			return nil, fmt.Errorf("manual: backbone: %w", err)
+		}
+		for _, p := range paths {
+			line := make([]geom.Point, len(p))
+			for pi, id := range p {
+				line[pi] = tg.Cells[id].Bounds().Center()
+			}
+			out = append(out, line)
+		}
+	}
+	return out, nil
+}
+
+// corridors converts polylines into a union of axis-aligned rectangles of
+// the given width. Diagonal steps between tile centers are rectified into
+// an L (horizontal then vertical), which is exactly the "regular geometry"
+// a human designer draws.
+func corridors(polylines [][]geom.Point, width int64) geom.Region {
+	half := width / 2
+	if half < 1 {
+		half = 1
+	}
+	var rects []geom.Rect
+	seg := func(a, b geom.Point) {
+		// Build the padded rect directly: the raw segment rect is
+		// degenerate (zero width or height) and Expand treats degenerate
+		// rects as empty.
+		x0, x1 := a.X, b.X
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		y0, y1 := a.Y, b.Y
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		rects = append(rects, geom.R(x0-half, y0-half, x1+half, y1+half))
+	}
+	for _, line := range polylines {
+		for i := 0; i+1 < len(line); i++ {
+			a, b := line[i], line[i+1]
+			if a.X == b.X || a.Y == b.Y {
+				seg(a, b)
+				continue
+			}
+			corner := geom.Pt(b.X, a.Y)
+			seg(a, corner)
+			seg(corner, b)
+		}
+	}
+	return geom.RegionFromRects(rects)
+}
+
+// connectsAll reports whether one connected component of the shape touches
+// every terminal.
+func connectsAll(shape geom.Region, terms []route.Terminal) bool {
+	for _, comp := range shape.Components() {
+		all := true
+		for _, t := range terms {
+			if !comp.Overlaps(t.Shape) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

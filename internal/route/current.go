@@ -1,0 +1,267 @@
+package route
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sprout/internal/graph"
+	"sprout/internal/sparse"
+)
+
+// Metrics is the result of one node-current evaluation (paper Algorithm 3)
+// over the current subgraph.
+type Metrics struct {
+	// NodeCurrent holds the per-node current metric indexed by full-graph
+	// node id (zero outside the subgraph): the sum over terminal pairs of
+	// the absolute currents in the node's incident subgraph edges.
+	NodeCurrent []float64
+	// Resistance is the injection-weighted sum of pairwise effective
+	// resistances of the subgraph — the objective R(Γ_n^s, Θ_n) of paper
+	// Eq. 5 (in relative "squares" units; extraction converts to ohms).
+	Resistance float64
+	// PairResistance lists the effective resistance of each terminal pair
+	// in pair order (i<j lexicographic).
+	PairResistance []float64
+}
+
+// warmCache keeps per-pair voltage solutions keyed by full-graph node id so
+// successive SmartGrow/SmartRefine iterations warm-start the CG solver on
+// nearly identical systems.
+type warmCache struct {
+	pairVolts [][]float64 // pair index -> full-size voltages
+}
+
+// pairList enumerates the 2-subsets of the terminal list (paper Alg. 3
+// line 3, [Θ]²) with their injection weights. The weight of a pair is the
+// geometric mean of the two terminals' expected currents, normalized so
+// the largest weight is 1: PMIC↔BGA pairs carry more injected current than
+// BGA↔BGA pairs, as prescribed in §II-D.
+func (tg *TileGraph) pairList() (pairs [][2]int, weights []float64) {
+	k := len(tg.Terminals)
+	maxW := 0.0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairs = append(pairs, [2]int{i, j})
+			w := math.Sqrt(tg.TermCurrent[i] * tg.TermCurrent[j])
+			weights = append(weights, w)
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	if maxW > 0 {
+		for i := range weights {
+			weights[i] /= maxW
+		}
+	}
+	return pairs, weights
+}
+
+// pairSolution carries the nodal-analysis results for every terminal pair:
+// full-graph-indexed voltage vectors for a unit current injection.
+type pairSolution struct {
+	pairs   [][2]int    // terminal index pairs
+	weights []float64   // normalized injection weights
+	volts   [][]float64 // per pair, full-size voltages (0 outside subgraph)
+	sub     *graph.Graph
+	orig    []int // sub node -> full node id
+}
+
+// solvePairs performs the nodal analysis of paper Eq. 3 for every terminal
+// pair over the member subgraph.
+func (tg *TileGraph) solvePairs(members []bool, warm *warmCache) (*pairSolution, error) {
+	if len(members) != tg.G.N() {
+		return nil, fmt.Errorf("route: member mask len %d, want %d", len(members), tg.G.N())
+	}
+	for ti, t := range tg.Terminals {
+		if !members[t] {
+			return nil, fmt.Errorf("route: terminal %d (node %d) outside subgraph", ti, t)
+		}
+	}
+	sub, orig := inducedMembers(tg.G, members)
+	subIdx := make(map[int]int, len(orig))
+	for si, id := range orig {
+		subIdx[id] = si
+	}
+	subTerms := make([]int, len(tg.Terminals))
+	for i, t := range tg.Terminals {
+		subTerms[i] = subIdx[t]
+	}
+	if !sub.Connected(subTerms...) {
+		return nil, fmt.Errorf("route: terminals disconnected within subgraph")
+	}
+
+	// The subgraph may contain satellite components without terminals
+	// (e.g. after removals); nodes outside the terminal component make the
+	// grounded Laplacian singular. Restrict the solve to the terminal
+	// component.
+	label, _ := sub.Components()
+	tcomp := label[subTerms[0]]
+	compNodes := make([]int, 0, sub.N())
+	compIdx := make([]int, sub.N())
+	for i := range compIdx {
+		compIdx[i] = -1
+	}
+	for i := 0; i < sub.N(); i++ {
+		if label[i] == tcomp {
+			compIdx[i] = len(compNodes)
+			compNodes = append(compNodes, i)
+		}
+	}
+	var cedges []sparse.WeightedEdge
+	for _, e := range sub.Edges() {
+		if compIdx[e.U] >= 0 && compIdx[e.V] >= 0 {
+			cedges = append(cedges, sparse.WeightedEdge{U: compIdx[e.U], V: compIdx[e.V], W: e.Weight})
+		}
+	}
+	ground := compIdx[subTerms[0]]
+	lap, err := sparse.NewLaplacian(len(compNodes), cedges, ground)
+	if err != nil {
+		return nil, fmt.Errorf("route: laplacian: %w", err)
+	}
+
+	pairs, weights := tg.pairList()
+	if warm != nil && len(warm.pairVolts) != len(pairs) {
+		warm.pairVolts = make([][]float64, len(pairs))
+	}
+	sol := &pairSolution{pairs: pairs, weights: weights, sub: sub, orig: orig}
+	sol.volts = make([][]float64, len(pairs))
+
+	// Pair injections are independent linear solves; run them concurrently
+	// (the paper's runtime was measured on an 8-core machine). Each worker
+	// writes only its own slot, so the result stays deterministic.
+	solveOne := func(pi int) error {
+		pr := pairs[pi]
+		s, t := subTerms[pr[0]], subTerms[pr[1]]
+		cs, ct := compIdx[s], compIdx[t]
+		b := make([]float64, len(compNodes))
+		b[cs] += 1
+		b[ct] -= 1
+		var x0 []float64
+		if warm != nil && warm.pairVolts[pi] != nil {
+			x0 = make([]float64, len(compNodes))
+			for ci, si := range compNodes {
+				x0[ci] = warm.pairVolts[pi][orig[si]]
+			}
+		}
+		v, err := lap.Solve(b, x0)
+		if err != nil {
+			return fmt.Errorf("route: pair %d solve: %w", pi, err)
+		}
+		full := make([]float64, tg.G.N())
+		for ci, si := range compNodes {
+			full[orig[si]] = v[ci]
+		}
+		if warm != nil {
+			warm.pairVolts[pi] = full
+		}
+		sol.volts[pi] = full
+		return nil
+	}
+	if len(pairs) == 1 {
+		if err := solveOne(0); err != nil {
+			return nil, err
+		}
+		return sol, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int32
+		firstErr error
+		errOnce  sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pi := int(atomic.AddInt32(&next, 1)) - 1
+				if pi >= len(pairs) {
+					return
+				}
+				if err := solveOne(pi); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sol, nil
+}
+
+// NodeCurrents evaluates the node-current metric over the member subgraph
+// (paper Algorithm 3). All terminals must be members and mutually
+// connected within the mask. warm may be nil; when reused across calls it
+// accelerates the underlying CG solves.
+func (tg *TileGraph) NodeCurrents(members []bool, warm *warmCache) (*Metrics, error) {
+	sol, err := tg.solvePairs(members, warm)
+	if err != nil {
+		return nil, err
+	}
+	nodeCur := make([]float64, tg.G.N())
+	pairRes := make([]float64, len(sol.pairs))
+	totalRes := 0.0
+	for pi, pr := range sol.pairs {
+		v := sol.volts[pi]
+		s := tg.Terminals[pr[0]]
+		t := tg.Terminals[pr[1]]
+		r := v[s] - v[t]
+		pairRes[pi] = r
+		totalRes += sol.weights[pi] * r
+		w := sol.weights[pi]
+		// Accumulate |I| per incident edge into both endpoints
+		// (paper Alg. 3 line 13).
+		for si, id := range sol.orig {
+			var sum float64
+			sol.sub.Neighbors(si, func(nj int, g float64) {
+				sum += g * math.Abs(v[id]-v[sol.orig[nj]])
+			})
+			nodeCur[id] += w * sum
+		}
+	}
+	return &Metrics{NodeCurrent: nodeCur, Resistance: totalRes, PairResistance: pairRes}, nil
+}
+
+// PairVoltages exposes the per-pair nodal voltages over a member mask for
+// downstream extraction: volts[p][nodeID] is the potential of the node
+// under a unit current injected into pair p. pairs hold terminal indices
+// and weights the normalized injection weights.
+func (tg *TileGraph) PairVoltages(members []bool) (volts [][]float64, pairs [][2]int, weights []float64, err error) {
+	sol, err := tg.solvePairs(members, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sol.volts, sol.pairs, sol.weights, nil
+}
+
+// inducedMembers builds the induced subgraph over the mask's set nodes.
+func inducedMembers(g *graph.Graph, members []bool) (*graph.Graph, []int) {
+	nodes := make([]int, 0)
+	for id, in := range members {
+		if in {
+			nodes = append(nodes, id)
+		}
+	}
+	return g.InducedSubgraph(nodes)
+}
+
+// Resistance computes only the objective value for a member mask, without
+// the per-node currents (used by tests and traces).
+func (tg *TileGraph) Resistance(members []bool) (float64, error) {
+	m, err := tg.NodeCurrents(members, nil)
+	if err != nil {
+		return 0, err
+	}
+	return m.Resistance, nil
+}

@@ -1,0 +1,318 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"sprout/internal/geom"
+	"sprout/internal/graph"
+)
+
+// LayerSpace is one layer's available space for a net.
+type LayerSpace struct {
+	Layer int
+	Avail geom.Region
+}
+
+// MLTerminal is a terminal pinned to a specific layer for multilayer
+// planning (paper Appendix: T_n = {t_1^{l_1}, ..., t_k^{l_k}}).
+type MLTerminal struct {
+	Name    string
+	Layer   int
+	Shape   geom.Region
+	Current float64
+}
+
+// Via is an interlayer connection placed by the multilayer planner.
+type Via struct {
+	At         geom.Point
+	FromLayer  int
+	ToLayer    int
+	padHalfLen int64
+}
+
+// PadHalf returns the half-width of the via land pad.
+func (v Via) PadHalf() int64 { return v.padHalfLen }
+
+// ViaPlan is the decomposition of a multilayer routing problem into
+// single-layer problems (paper Fig. 13c): the placed vias and, per layer,
+// the terminal set (original terminals plus via lands).
+type ViaPlan struct {
+	Vias     []Via
+	PerLayer map[int][]Terminal
+}
+
+// PlanMultilayer determines the least-cost layer assignment for a net whose
+// terminals cannot be connected within a single layer (paper Algorithm 6).
+// It tiles every layer at the via pitch, builds the 3-D graph with
+// via edges weighted viaCost (vs. 1 per lateral step), finds shortest
+// paths between all terminal pairs, and converts the layer changes into
+// vias. Each via becomes a terminal on both layers it joins.
+func PlanMultilayer(spaces []LayerSpace, terms []MLTerminal, viaPitch int64, viaCost float64) (*ViaPlan, error) {
+	if len(spaces) == 0 {
+		return nil, fmt.Errorf("route: multilayer needs at least one layer space")
+	}
+	if len(terms) < 2 {
+		return nil, fmt.Errorf("route: multilayer needs at least two terminals")
+	}
+	if viaPitch < 1 {
+		return nil, fmt.Errorf("route: via pitch %d must be >= 1", viaPitch)
+	}
+	if viaCost <= 0 {
+		viaCost = 1
+	}
+	// Sort layers ascending and index them.
+	sorted := append([]LayerSpace(nil), spaces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Layer < sorted[j].Layer })
+	layerIdx := map[int]int{}
+	for i, ls := range sorted {
+		if _, dup := layerIdx[ls.Layer]; dup {
+			return nil, fmt.Errorf("route: duplicate layer %d", ls.Layer)
+		}
+		layerIdx[ls.Layer] = i
+	}
+	for _, t := range terms {
+		if _, ok := layerIdx[t.Layer]; !ok {
+			return nil, fmt.Errorf("route: terminal %q on layer %d with no available space", t.Name, t.Layer)
+		}
+	}
+
+	// Tile each layer at the via pitch; cells are whole grid boxes clipped
+	// to available space, one node per connected piece.
+	type cell struct {
+		layer int // index into sorted
+		shape geom.Region
+	}
+	var cells []cell
+	// Per layer, map grid box -> node ids.
+	grids := make([]map[[2]int64][]int, len(sorted))
+	var frame geom.Rect
+	for _, ls := range sorted {
+		frame = frame.Union(ls.Avail.Bounds())
+	}
+	for li, ls := range sorted {
+		grids[li] = map[[2]int64][]int{}
+		if ls.Avail.Empty() {
+			continue
+		}
+		nx := (frame.X1 - frame.X0 + viaPitch - 1) / viaPitch
+		ny := (frame.Y1 - frame.Y0 + viaPitch - 1) / viaPitch
+		for i := int64(0); i < nx; i++ {
+			for j := int64(0); j < ny; j++ {
+				box := geom.R(frame.X0+i*viaPitch, frame.Y0+j*viaPitch,
+					frame.X0+(i+1)*viaPitch, frame.Y0+(j+1)*viaPitch)
+				piece := ls.Avail.IntersectRect(box)
+				if piece.Empty() {
+					continue
+				}
+				for _, comp := range piece.Components() {
+					grids[li][[2]int64{i, j}] = append(grids[li][[2]int64{i, j}], len(cells))
+					cells = append(cells, cell{li, comp})
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("route: no routable space on any layer")
+	}
+
+	g := graph.New(len(cells))
+	// Lateral edges within a layer.
+	for li := range sorted {
+		for key, ids := range grids[li] {
+			for _, d := range [2][2]int64{{1, 0}, {0, 1}} {
+				nkey := [2]int64{key[0] + d[0], key[1] + d[1]}
+				for _, a := range ids {
+					for _, bid := range grids[li][nkey] {
+						if contactLength(cells[a].shape, cells[bid].shape) > 0 {
+							_ = g.AddEdge(a, bid, 1)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Vertical (via) edges between adjacent layers where cells overlap.
+	for li := 0; li+1 < len(sorted); li++ {
+		for key, ids := range grids[li] {
+			for _, a := range ids {
+				for _, bid := range grids[li+1][key] {
+					if cells[a].shape.Overlaps(cells[bid].shape) {
+						_ = g.AddEdge(a, bid, viaCost)
+					}
+				}
+			}
+		}
+	}
+
+	// Map terminals onto nodes (first overlapping cell on the terminal's
+	// layer, Alg. 6 identifyTerminals).
+	termNode := make([]int, len(terms))
+	for ti, t := range terms {
+		li := layerIdx[t.Layer]
+		found := -1
+		for id, c := range cells {
+			if c.layer == li && c.shape.Overlaps(t.Shape) {
+				found = id
+				break
+			}
+		}
+		if found == -1 {
+			return nil, fmt.Errorf("route: terminal %q overlaps no routable cell on layer %d", t.Name, t.Layer)
+		}
+		termNode[ti] = found
+	}
+
+	// Pairwise shortest paths; collect the via crossings.
+	type viaKey struct {
+		x, y   int64
+		lo, hi int
+	}
+	viaSet := map[viaKey]bool{}
+	for i := 0; i < len(terms); i++ {
+		var dsts []int
+		for j := i + 1; j < len(terms); j++ {
+			dsts = append(dsts, termNode[j])
+		}
+		if len(dsts) == 0 {
+			break
+		}
+		paths, err := g.ShortestPaths(termNode[i], dsts)
+		if err != nil {
+			return nil, fmt.Errorf("route: multilayer path from %q: %w", terms[i].Name, err)
+		}
+		for _, p := range paths {
+			for s := 0; s+1 < len(p); s++ {
+				a, b := cells[p[s]], cells[p[s+1]]
+				if a.layer == b.layer {
+					continue
+				}
+				// Via at the centroid of the overlap.
+				ov := a.shape.Intersect(b.shape)
+				center := ov.Bounds().Center()
+				lo, hi := a.layer, b.layer
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				viaSet[viaKey{center.X, center.Y, lo, hi}] = true
+			}
+		}
+	}
+
+	// Assemble the plan: original terminals plus a via land on each layer
+	// the via joins.
+	plan := &ViaPlan{PerLayer: map[int][]Terminal{}}
+	for _, t := range terms {
+		plan.PerLayer[t.Layer] = append(plan.PerLayer[t.Layer], Terminal{
+			Name: t.Name, Shape: t.Shape, Current: t.Current,
+		})
+	}
+	keys := make([]viaKey, 0, len(viaSet))
+	for k := range viaSet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].lo != keys[j].lo {
+			return keys[i].lo < keys[j].lo
+		}
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].y < keys[j].y
+	})
+	padHalf := viaPitch / 4
+	if padHalf < 1 {
+		padHalf = 1
+	}
+	for vi, k := range keys {
+		at := geom.Pt(k.x, k.y)
+		v := Via{At: at, FromLayer: sorted[k.lo].Layer, ToLayer: sorted[k.hi].Layer, padHalfLen: padHalf}
+		plan.Vias = append(plan.Vias, v)
+		land := geom.RegionFromRect(geom.RectAround(at, padHalf))
+		for _, layer := range []int{v.FromLayer, v.ToLayer} {
+			// A via landing within one pitch of an existing terminal is
+			// electrically that terminal's connection point; adding a
+			// second terminal in the same routing tile would over-constrain
+			// the single-layer pass.
+			near := land.Bloat(viaPitch)
+			merged := false
+			for _, ex := range plan.PerLayer[layer] {
+				if near.Overlaps(ex.Shape) {
+					merged = true
+					break
+				}
+			}
+			if merged {
+				continue
+			}
+			plan.PerLayer[layer] = append(plan.PerLayer[layer], Terminal{
+				Name:    fmt.Sprintf("via%d", vi),
+				Shape:   land.Intersect(sorted[layerIdx[layer]].Avail),
+				Current: 1,
+			})
+		}
+	}
+	// Via lands clipped to empty space would break downstream routing.
+	for layer, ts := range plan.PerLayer {
+		for _, t := range ts {
+			if t.Shape.Empty() {
+				return nil, fmt.Errorf("route: via land %q empty on layer %d", t.Name, layer)
+			}
+		}
+	}
+	return plan, nil
+}
+
+// RouteLayer routes one layer of a multilayer plan. The available space of
+// a layer engaged by vias is typically disjoint (that is why vias were
+// needed), so the layer is decomposed into connected components and every
+// component holding two or more terminals is routed independently (paper
+// Appendix: "the routing process is separately performed on each layer,
+// from source to via, between vias, and from via to target"). Components
+// with fewer than two terminals need no copper. cfg.AreaMax applies per
+// component.
+func RouteLayer(avail geom.Region, terms []Terminal, cfg Config) ([]*Result, error) {
+	comps := avail.Components()
+	byComp := make([][]Terminal, len(comps))
+	for _, t := range terms {
+		placed := false
+		for ci, comp := range comps {
+			if comp.Overlaps(t.Shape) {
+				byComp[ci] = append(byComp[ci], t)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("route: terminal %q overlaps no component of the layer space", t.Name)
+		}
+	}
+	var out []*Result
+	for ci, subset := range byComp {
+		if len(subset) < 2 {
+			continue
+		}
+		res, err := Route(comps[ci], subset, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("route: component %d: %w", ci, err)
+		}
+		out = append(out, res)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("route: no component holds two terminals")
+	}
+	return out, nil
+}
+
+// LayersUsed returns the sorted layers that have two or more terminals in
+// the plan and therefore need a single-layer routing pass.
+func (p *ViaPlan) LayersUsed() []int {
+	var out []int
+	for layer, ts := range p.PerLayer {
+		if len(ts) >= 2 {
+			out = append(out, layer)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,140 @@
+package route
+
+import (
+	"sort"
+)
+
+// removeLowCurrent removes up to k non-terminal member nodes in ascending
+// node-current order, skipping any removal that would disconnect the
+// terminals (paper Alg. 5 lines 3-6; the connectivity guard is required in
+// practice: the minimum-current node can be a bridge behind a terminal).
+// It returns the removed ids.
+func (tg *TileGraph) removeLowCurrent(members []bool, nodeCurrent []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		id  int
+		cur float64
+	}
+	var cands []cand
+	for id, in := range members {
+		if in && !tg.IsTerminal(id) {
+			cands = append(cands, cand{id, nodeCurrent[id]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cur != cands[j].cur {
+			return cands[i].cur < cands[j].cur
+		}
+		return cands[i].id < cands[j].id
+	})
+	removed := make([]int, 0, k)
+	for _, c := range cands {
+		if len(removed) >= k {
+			break
+		}
+		members[c.id] = false
+		if tg.terminalsConnected(members) {
+			removed = append(removed, c.id)
+		} else {
+			members[c.id] = true // bridge node: keep it
+		}
+	}
+	return removed
+}
+
+// TerminalsConnected reports whether all terminals are mutually reachable
+// within the member mask (exported for audits and ablation baselines).
+func (tg *TileGraph) TerminalsConnected(members []bool) bool {
+	return tg.terminalsConnected(members)
+}
+
+// terminalsConnected reports whether all terminals are mutually reachable
+// within the member mask.
+func (tg *TileGraph) terminalsConnected(members []bool) bool {
+	// BFS from the first terminal restricted to members.
+	start := tg.Terminals[0]
+	if !members[start] {
+		return false
+	}
+	seen := make([]bool, tg.G.N())
+	seen[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		tg.G.Neighbors(u, func(v int, w float64) {
+			if members[v] && !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		})
+	}
+	for _, t := range tg.Terminals {
+		if !seen[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// SmartRefine performs one refinement step (paper Algorithm 5): remove the
+// k lowest-current nodes, then re-grow k nodes at the highest-current
+// boundary. It returns the change in node count (normally zero) and the
+// resistance after the step.
+func (tg *TileGraph) SmartRefine(members []bool, k int, warm *warmCache) (float64, error) {
+	m, err := tg.NodeCurrents(members, warm)
+	if err != nil {
+		return 0, err
+	}
+	removed := tg.removeLowCurrent(members, m.NodeCurrent, k)
+	if len(removed) == 0 {
+		return m.Resistance, nil
+	}
+	// Re-grow exactly as many nodes as were removed (Alg. 5 line 7 calls
+	// SmartGrow with k).
+	if _, err := tg.SmartGrow(members, len(removed), warm); err != nil {
+		return 0, err
+	}
+	m2, err := tg.NodeCurrents(members, warm)
+	if err != nil {
+		return 0, err
+	}
+	return m2.Resistance, nil
+}
+
+// Erode removes member nodes in ascending current order until the member
+// area drops to at most areaMax (the erosion operation of the reheating
+// stage, §II-F). It recomputes the node-current metric every `batch`
+// removals to track the shifting current distribution.
+func (tg *TileGraph) Erode(members []bool, areaMax int64, batch int, warm *warmCache) error {
+	if batch < 1 {
+		batch = 1
+	}
+	tileArea := tg.DX * tg.DY
+	for {
+		over := tg.MembersArea(members) - areaMax
+		if over <= 0 {
+			return nil
+		}
+		m, err := tg.NodeCurrents(members, warm)
+		if err != nil {
+			return err
+		}
+		// Remove only as many nodes as the excess area requires, capped at
+		// the batch size, so erosion lands on the budget instead of
+		// undershooting it.
+		k := int((over + tileArea - 1) / tileArea)
+		if k < 1 {
+			k = 1
+		}
+		if k > batch {
+			k = batch
+		}
+		removed := tg.removeLowCurrent(members, m.NodeCurrent, k)
+		if len(removed) == 0 {
+			return nil // nothing removable without disconnecting terminals
+		}
+	}
+}

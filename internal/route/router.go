@@ -1,0 +1,250 @@
+package route
+
+import (
+	"fmt"
+	"time"
+
+	"sprout/internal/geom"
+)
+
+// Config tunes the SPROUT pipeline. Zero values select the documented
+// defaults.
+type Config struct {
+	// DX, DY are the tile dimensions (paper Alg. 1 Δx, Δy). Default 10.
+	DX, DY int64
+	// AreaMax is the metal area budget A_max in grid units squared
+	// (paper Eq. 5). Zero means "seed area times 4".
+	AreaMax int64
+	// GrowNodes is ΔV, the number of nodes added per SmartGrow iteration.
+	// Default: enough tiles to add ~2% of the area budget, at least 1.
+	GrowNodes int
+	// RefineNodes is k for SmartRefine. Default max(GrowNodes/2, 1).
+	RefineNodes int
+	// RefineIters caps the refinement iterations. Default 10; negative
+	// disables refinement entirely (used by ablation studies).
+	RefineIters int
+	// RefineTol stops refinement when the relative resistance improvement
+	// falls below it (paper Fig. 8f: "the reduction in impedance is
+	// negligible, triggering termination"). Default 1e-3.
+	RefineTol float64
+	// ReheatDilations is the number of dilation sweeps of the reheating
+	// stage (§II-F). Zero disables reheating.
+	ReheatDilations int
+	// ErodeBatch is the number of nodes removed per erosion iteration
+	// during reheating. Default GrowNodes.
+	ErodeBatch int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.DX == 0 {
+		c.DX = 10
+	}
+	if c.DY == 0 {
+		c.DY = c.DX
+	}
+	if c.RefineIters == 0 {
+		c.RefineIters = 10
+	}
+	if c.RefineTol == 0 {
+		c.RefineTol = 1e-3
+	}
+	return c
+}
+
+// IterRecord traces one pipeline step for convergence analysis (Fig. 8)
+// and the runtime study (§II-H).
+type IterRecord struct {
+	Stage      string        // "seed", "grow", "refine", "dilate", "erode"
+	Nodes      int           // subgraph order |V_n^s|
+	Area       int64         // metal area
+	Resistance float64       // objective (relative units)
+	Elapsed    time.Duration // cumulative wall clock
+}
+
+// Result is a routed net.
+type Result struct {
+	// Shape is the synthesized copper region (back-converted union of the
+	// member tiles, paper §II-G).
+	Shape geom.Region
+	// Members is the final member mask over tile-graph nodes.
+	Members []bool
+	// Graph is the tile graph the route was computed on.
+	Graph *TileGraph
+	// Resistance is the final weighted pairwise effective resistance in
+	// relative (sheet-squares) units.
+	Resistance float64
+	// PairResistance lists final per-pair effective resistances.
+	PairResistance []float64
+	// Trace records every pipeline iteration.
+	Trace []IterRecord
+}
+
+// Route runs the full SPROUT pipeline on one net's available space
+// (paper Fig. 3): tile → seed → SmartGrow to the area budget → SmartRefine
+// → optional reheating → back conversion.
+func Route(avail geom.Region, terms []Terminal, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	tg, err := BuildTileGraph(avail, terms, cfg.DX, cfg.DY)
+	if err != nil {
+		return nil, err
+	}
+	return tg.Route(cfg)
+}
+
+// Route runs the pipeline on an already built tile graph.
+func (tg *TileGraph) Route(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	var trace []IterRecord
+	warm := &warmCache{}
+
+	record := func(stage string, members []bool, res float64) {
+		trace = append(trace, IterRecord{
+			Stage:      stage,
+			Nodes:      MemberCount(members),
+			Area:       tg.MembersArea(members),
+			Resistance: res,
+			Elapsed:    time.Since(start),
+		})
+	}
+
+	// Stage 1: seed (Alg. 2).
+	members, err := tg.Seed()
+	if err != nil {
+		return nil, err
+	}
+	m, err := tg.NodeCurrents(members, warm)
+	if err != nil {
+		return nil, fmt.Errorf("route: seed metrics: %w", err)
+	}
+	record("seed", members, m.Resistance)
+
+	areaMax := cfg.AreaMax
+	if areaMax <= 0 {
+		areaMax = 4 * tg.MembersArea(members)
+	}
+	if tg.MembersArea(members) > areaMax {
+		return nil, fmt.Errorf("route: seed area %d already exceeds budget %d; increase AreaMax",
+			tg.MembersArea(members), areaMax)
+	}
+	growNodes := cfg.GrowNodes
+	if growNodes <= 0 {
+		tileArea := cfg.DX * cfg.DY
+		growNodes = int(areaMax / 50 / tileArea)
+		if growNodes < 1 {
+			growNodes = 1
+		}
+	}
+	refineNodes := cfg.RefineNodes
+	if refineNodes <= 0 {
+		refineNodes = growNodes / 2
+		if refineNodes < 1 {
+			refineNodes = 1
+		}
+	}
+	erodeBatch := cfg.ErodeBatch
+	if erodeBatch <= 0 {
+		erodeBatch = growNodes
+	}
+
+	// Stage 2: SmartGrow until the area budget is reached (Alg. 4, §II-D).
+	for tg.MembersArea(members) < areaMax {
+		added, err := tg.SmartGrow(members, growNodes, warm)
+		if err != nil {
+			return nil, fmt.Errorf("route: grow: %w", err)
+		}
+		if len(added) == 0 {
+			break // space exhausted before the budget
+		}
+		mm, err := tg.NodeCurrents(members, warm)
+		if err != nil {
+			return nil, fmt.Errorf("route: grow metrics: %w", err)
+		}
+		record("grow", members, mm.Resistance)
+	}
+
+	// The last grow batch may overshoot A_max; erode the excess before
+	// refining so the budget constraint of Eq. 5 holds from here on.
+	if err := tg.Erode(members, areaMax, erodeBatch, warm); err != nil {
+		return nil, fmt.Errorf("route: trim: %w", err)
+	}
+
+	// Stage 3: SmartRefine until improvement is negligible (Alg. 5, §II-E).
+	refinePass := func(prev float64) (float64, error) {
+		for it := 0; it < cfg.RefineIters; it++ {
+			res, err := tg.SmartRefine(members, refineNodes, warm)
+			if err != nil {
+				return 0, err
+			}
+			record("refine", members, res)
+			if prev-res < cfg.RefineTol*prev {
+				return res, nil
+			}
+			prev = res
+		}
+		return prev, nil
+	}
+	mm, err := tg.NodeCurrents(members, warm)
+	if err != nil {
+		return nil, fmt.Errorf("route: trim metrics: %w", err)
+	}
+	cur, err := refinePass(mm.Resistance)
+	if err != nil {
+		return nil, fmt.Errorf("route: refine: %w", err)
+	}
+
+	// Snapshot the best within-budget configuration seen so far. Reheating
+	// is an exploration move (§II-F) and may regress; it is only accepted
+	// when it finds a better basin.
+	best := append([]bool(nil), members...)
+	bestRes := cur
+
+	// Stage 4: reheating (§II-F): dilate past the budget, erode back.
+	if cfg.ReheatDilations > 0 {
+		for d := 0; d < cfg.ReheatDilations; d++ {
+			if tg.Dilate(members) == 0 {
+				break
+			}
+		}
+		mm, err := tg.NodeCurrents(members, warm)
+		if err != nil {
+			return nil, fmt.Errorf("route: dilate metrics: %w", err)
+		}
+		record("dilate", members, mm.Resistance)
+		if err := tg.Erode(members, areaMax, erodeBatch, warm); err != nil {
+			return nil, fmt.Errorf("route: erode: %w", err)
+		}
+		mm, err = tg.NodeCurrents(members, warm)
+		if err != nil {
+			return nil, fmt.Errorf("route: erode metrics: %w", err)
+		}
+		record("erode", members, mm.Resistance)
+
+		// A short refine pass settles the eroded shape.
+		cur, err = refinePass(mm.Resistance)
+		if err != nil {
+			return nil, fmt.Errorf("route: post-reheat refine: %w", err)
+		}
+		if cur < bestRes {
+			bestRes = cur
+			copy(best, members)
+		} else {
+			copy(members, best) // reheat regressed: restore
+			record("restore", members, bestRes)
+		}
+	}
+
+	final, err := tg.NodeCurrents(members, warm)
+	if err != nil {
+		return nil, fmt.Errorf("route: final metrics: %w", err)
+	}
+	return &Result{
+		Shape:          tg.Union(members),
+		Members:        members,
+		Graph:          tg,
+		Resistance:     final.Resistance,
+		PairResistance: final.PairResistance,
+		Trace:          trace,
+	}, nil
+}

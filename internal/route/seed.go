@@ -1,0 +1,66 @@
+package route
+
+import (
+	"fmt"
+
+	"sprout/internal/geom"
+)
+
+// Seed builds the voidless seed subgraph of paper Algorithm 2: the union
+// of minimum-resistance paths between every terminal pair, with interior
+// voids filled to accelerate convergence (Fig. 8a-b). It returns the
+// member mask over tile-graph nodes.
+func (tg *TileGraph) Seed() ([]bool, error) {
+	cost := tg.CostGraph()
+	members := make([]bool, tg.G.N())
+	k := len(tg.Terminals)
+	for i := 0; i < k; i++ {
+		rest := tg.Terminals[i+1:]
+		if len(rest) == 0 {
+			break
+		}
+		paths, err := cost.ShortestPaths(tg.Terminals[i], rest)
+		if err != nil {
+			return nil, fmt.Errorf("route: seed from terminal %d: %w", i, err)
+		}
+		for _, p := range paths {
+			for _, id := range p {
+				members[id] = true
+			}
+		}
+	}
+	tg.fillVoids(members)
+	return members, nil
+}
+
+// fillVoids adds every node whose tile lies inside an interior void of the
+// member shape (paper Alg. 2 lines 6-10: nodes within the exterior
+// boundary of the seed polygon join the subgraph).
+func (tg *TileGraph) fillVoids(members []bool) {
+	shape := tg.Union(members)
+	if shape.Empty() {
+		return
+	}
+	frame := shape.Bounds()
+	voids := geom.EmptyRegion()
+	for _, comp := range geom.RegionFromRect(frame).Subtract(shape).Components() {
+		if touchesFrame(comp, frame) {
+			continue // open to the outside: not a void
+		}
+		voids = voids.Union(comp)
+	}
+	if voids.Empty() {
+		return
+	}
+	for id := range members {
+		if !members[id] && tg.Cells[id].Overlaps(voids) {
+			members[id] = true
+		}
+	}
+}
+
+// touchesFrame reports whether the region reaches the frame boundary.
+func touchesFrame(g geom.Region, frame geom.Rect) bool {
+	b := g.Bounds()
+	return b.X0 == frame.X0 || b.Y0 == frame.Y0 || b.X1 == frame.X1 || b.Y1 == frame.Y1
+}

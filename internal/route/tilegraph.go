@@ -1,0 +1,327 @@
+// Package route implements the SPROUT power-routing core (paper §II): the
+// available-space tiling into an equivalent conductance graph (Algorithm 1),
+// the voidless seed subgraph (Algorithm 2), the node-current metric
+// (Algorithm 3), SmartGrow (Algorithm 4), SmartRefine (Algorithm 5), the
+// subgraph reheating of §II-F, back conversion to copper polygons (§II-G),
+// and the multilayer via-placement decomposition of the Appendix
+// (Algorithm 6).
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"sprout/internal/geom"
+	"sprout/internal/graph"
+)
+
+// Terminal is a routing terminal: an electrically common shape (PMIC output
+// via, BGA ball cluster, decap pad) with its expected current magnitude.
+type Terminal struct {
+	Name string
+	// Shape is the terminal land geometry; every tile overlapping it is
+	// contracted into one graph node (paper Fig. 7: "tiles overlapping vias
+	// are treated as a single node").
+	Shape geom.Region
+	// Current is the expected current magnitude in amperes; it weights the
+	// pairwise injections of the node-current metric (paper §II-D).
+	Current float64
+}
+
+// TileGraph is the equivalent graph Γ_n of paper Algorithm 1: the available
+// space divided into Δx×Δy tiles, one node per connected tile piece, with
+// edge weights proportional to the conductance of the contact between
+// adjacent tiles. Terminal tiles are contracted into single nodes.
+type TileGraph struct {
+	// G holds the conductance graph: edge weight = contact width divided by
+	// the tile pitch across the contact (unitless "squares" of sheet
+	// conductance).
+	G *graph.Graph
+	// Cells maps node id to its tile geometry (union of tiles for
+	// contracted terminal nodes).
+	Cells []geom.Region
+	// Area caches Cells[i].Area().
+	Area []int64
+	// Terminals holds the node id of each input terminal, in input order.
+	Terminals []int
+	// TermCurrent holds the input terminals' current magnitudes.
+	TermCurrent []float64
+	// DX, DY are the tile dimensions.
+	DX, DY int64
+}
+
+// BuildTileGraph converts an available space into its equivalent graph
+// (paper Algorithm 1 SPACETOGRAPH) and contracts terminal tiles. It fails
+// when a terminal has no routable tile or fewer than two terminals are
+// given.
+func BuildTileGraph(avail geom.Region, terms []Terminal, dx, dy int64) (*TileGraph, error) {
+	if dx < 1 || dy < 1 {
+		return nil, fmt.Errorf("route: tile size %dx%d must be >= 1", dx, dy)
+	}
+	if len(terms) < 2 {
+		return nil, fmt.Errorf("route: need at least 2 terminals, got %d", len(terms))
+	}
+	if avail.Empty() {
+		return nil, fmt.Errorf("route: empty available space")
+	}
+	b := avail.Bounds()
+
+	// Cut the available space into tiles; a tile whose intersection with
+	// the space is disconnected becomes several nodes so that the graph
+	// never conducts across a gap inside one grid box.
+	type rawCell struct {
+		region geom.Region
+		col    int64
+		row    int64
+	}
+	var raw []rawCell
+	// cellsAt[col][row] -> indices into raw (tiles may split into pieces).
+	nx := (b.X1 - b.X0 + dx - 1) / dx
+	ny := (b.Y1 - b.Y0 + dy - 1) / dy
+	cellsAt := make(map[[2]int64][]int)
+	for i := int64(0); i < nx; i++ {
+		x0 := b.X0 + i*dx
+		x1 := x0 + dx
+		for j := int64(0); j < ny; j++ {
+			y0 := b.Y0 + j*dy
+			y1 := y0 + dy
+			cell := avail.IntersectRect(geom.R(x0, y0, x1, y1))
+			if cell.Empty() {
+				continue
+			}
+			for _, piece := range cell.Components() {
+				cellsAt[[2]int64{i, j}] = append(cellsAt[[2]int64{i, j}], len(raw))
+				raw = append(raw, rawCell{piece, i, j})
+			}
+		}
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("route: available space produced no tiles")
+	}
+
+	// Contract terminal tiles with union-find.
+	parent := make([]int, len(raw))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	termRoot := make([]int, len(terms))
+	for ti, term := range terms {
+		if term.Shape.Empty() {
+			return nil, fmt.Errorf("route: terminal %q has empty shape", term.Name)
+		}
+		first := -1
+		tb := term.Shape.Bounds()
+		i0 := (tb.X0 - b.X0) / dx
+		i1 := (tb.X1 - b.X0) / dx
+		j0 := (tb.Y0 - b.Y0) / dy
+		j1 := (tb.Y1 - b.Y0) / dy
+		for i := i0; i <= i1 && i < nx; i++ {
+			for j := j0; j <= j1 && j < ny; j++ {
+				if i < 0 || j < 0 {
+					continue
+				}
+				for _, ri := range cellsAt[[2]int64{i, j}] {
+					if raw[ri].region.Overlaps(term.Shape) {
+						if first == -1 {
+							first = ri
+						} else {
+							union(first, ri)
+						}
+					}
+				}
+			}
+		}
+		if first == -1 {
+			return nil, fmt.Errorf("route: terminal %q overlaps no routable tile (blocked by clearances?)", term.Name)
+		}
+		termRoot[ti] = first
+	}
+	// Two terminals contracted into the same node is a modelling error.
+	for i := 0; i < len(terms); i++ {
+		for j := i + 1; j < len(terms); j++ {
+			if find(termRoot[i]) == find(termRoot[j]) {
+				return nil, fmt.Errorf("route: terminals %q and %q share a tile; reduce tile size",
+					terms[i].Name, terms[j].Name)
+			}
+		}
+	}
+
+	// Assign final node ids (roots in ascending order for determinism).
+	nodeOf := make([]int, len(raw))
+	for i := range nodeOf {
+		nodeOf[i] = -1
+	}
+	var cells []geom.Region
+	var areas []int64
+	for i := range raw {
+		r := find(i)
+		if nodeOf[r] == -1 {
+			nodeOf[r] = len(cells)
+			cells = append(cells, geom.EmptyRegion())
+			areas = append(areas, 0)
+		}
+		nodeOf[i] = nodeOf[r]
+		cells[nodeOf[r]] = cells[nodeOf[r]].Union(raw[i].region)
+	}
+	for i := range cells {
+		areas[i] = cells[i].Area()
+	}
+
+	// Edges: adjacent columns/rows; conductance = contact width / pitch.
+	g := graph.New(len(cells))
+	type edgeKey struct{ a, b int }
+	acc := map[edgeKey]float64{}
+	addContact := func(ra, rb rawCell, na, nb int) {
+		if na == nb {
+			return
+		}
+		contact := contactLength(ra.region, rb.region)
+		if contact <= 0 {
+			return
+		}
+		var w float64
+		if ra.col != rb.col {
+			w = float64(contact) / float64(dx)
+		} else {
+			w = float64(contact) / float64(dy)
+		}
+		k := edgeKey{na, nb}
+		if na > nb {
+			k = edgeKey{nb, na}
+		}
+		acc[k] += w
+	}
+	for i, rc := range raw {
+		ni := nodeOf[i]
+		// Right neighbor column and upper neighbor row.
+		for _, d := range [2][2]int64{{1, 0}, {0, 1}} {
+			for _, rj := range cellsAt[[2]int64{rc.col + d[0], rc.row + d[1]}] {
+				addContact(rc, raw[rj], ni, nodeOf[rj])
+			}
+		}
+	}
+	keys := make([]edgeKey, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		if err := g.AddEdge(k.a, k.b, acc[k]); err != nil {
+			return nil, err
+		}
+	}
+
+	tg := &TileGraph{
+		G:           g,
+		Cells:       cells,
+		Area:        areas,
+		Terminals:   make([]int, len(terms)),
+		TermCurrent: make([]float64, len(terms)),
+		DX:          dx,
+		DY:          dy,
+	}
+	for ti := range terms {
+		tg.Terminals[ti] = nodeOf[termRoot[ti]]
+		cur := terms[ti].Current
+		if cur <= 0 {
+			cur = 1
+		}
+		tg.TermCurrent[ti] = cur
+	}
+	return tg, nil
+}
+
+// contactLength returns the length of the shared boundary between two
+// disjoint regions that touch along grid lines. It shifts a by one unit in
+// each axis direction and measures the overlap area with b: the overlap is
+// a one-unit-thick sliver whose area equals the contact length.
+func contactLength(a, b geom.Region) int64 {
+	var total int64
+	for _, d := range []geom.Point{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}} {
+		total += a.Translate(d).Intersect(b).Area()
+	}
+	// Each touching segment is counted once by exactly one direction since
+	// a and b are disjoint; shifting both ways catches either ordering.
+	return total
+}
+
+// IsTerminal reports whether node id is a terminal node.
+func (tg *TileGraph) IsTerminal(id int) bool {
+	for _, t := range tg.Terminals {
+		if t == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CostGraph derives the shortest-path cost graph: cost = 1/conductance per
+// edge, so low-resistance corridors are preferred (paper §II-C uses
+// Dijkstra on the equivalent graph).
+func (tg *TileGraph) CostGraph() *graph.Graph {
+	cg := graph.New(tg.G.N())
+	for _, e := range tg.G.Edges() {
+		w := e.Weight
+		if w <= 0 {
+			continue
+		}
+		_ = cg.AddEdge(e.U, e.V, 1/w)
+	}
+	return cg
+}
+
+// Union returns the copper region covered by the given member mask
+// (paper §II-G back conversion: the subgraph maps back to merged tiles).
+func (tg *TileGraph) Union(members []bool) geom.Region {
+	var rects []geom.Rect
+	for id, in := range members {
+		if in {
+			rects = append(rects, tg.Cells[id].Rects()...)
+		}
+	}
+	return geom.RegionFromRects(rects)
+}
+
+// MembersArea sums the tile areas of the member mask.
+func (tg *TileGraph) MembersArea(members []bool) int64 {
+	var total int64
+	for id, in := range members {
+		if in {
+			total += tg.Area[id]
+		}
+	}
+	return total
+}
+
+// MemberCount returns the number of set entries in the mask.
+func MemberCount(members []bool) int {
+	n := 0
+	for _, in := range members {
+		if in {
+			n++
+		}
+	}
+	return n
+}

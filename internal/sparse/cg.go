@@ -1,0 +1,124 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when the iterative solver fails to reach the
+// requested tolerance within the iteration budget.
+var ErrNoConvergence = errors.New("sparse: conjugate gradient did not converge")
+
+// CGOptions configures the preconditioned conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖b-Ax‖/‖b‖. Zero selects 1e-10.
+	Tol float64
+	// MaxIter caps the iteration count. Zero selects 10*n + 100.
+	MaxIter int
+	// Precond is the preconditioner diagonal (Jacobi). Nil disables
+	// preconditioning.
+	Precond []float64
+	// Apply, when non-nil, is a general preconditioner dst = M⁻¹r (e.g.
+	// IC(0)); it takes precedence over Precond.
+	Apply func(dst, r []float64)
+}
+
+// CG solves A*x = b for symmetric positive definite A using the conjugate
+// gradient method with optional Jacobi preconditioning. x0 seeds the
+// iteration when non-nil (warm starts matter: SmartGrow re-solves nearly
+// identical systems every iteration). It returns the solution and the
+// number of iterations performed.
+func CG(a Matrix, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("sparse: CG rhs dim %d, want %d", len(b), n)
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 10*n + 100
+	}
+
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	normB := norm2(b)
+	if normB == 0 {
+		return make([]float64, n), 0, nil // b = 0 ⇒ x = 0
+	}
+	if norm2(r)/normB <= tol {
+		return x, 0, nil
+	}
+
+	precond := opt.Apply
+	if precond == nil {
+		diag := opt.Precond
+		precond = func(dst, r []float64) { applyJacobi(dst, r, diag) }
+	}
+	z := make([]float64, n)
+	precond(z, r)
+	p := make([]float64, n)
+	copy(p, z)
+	ap := make([]float64, n)
+	rz := dot(r, z)
+
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return nil, it, fmt.Errorf("sparse: CG breakdown, pᵀAp=%g (matrix not SPD?)", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		if norm2(r)/normB <= tol {
+			return x, it, nil
+		}
+		precond(z, r)
+		rzNext := dot(r, z)
+		beta := rzNext / rz
+		rz = rzNext
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, maxIter, ErrNoConvergence
+}
+
+func applyJacobi(dst, r, diag []float64) {
+	if diag == nil {
+		copy(dst, r)
+		return
+	}
+	for i := range r {
+		if diag[i] != 0 {
+			dst[i] = r[i] / diag[i]
+		} else {
+			dst[i] = r[i]
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 {
+	return math.Sqrt(dot(a, a))
+}

@@ -1,0 +1,403 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestBuilderAccumulates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 1, 2)
+	b.Add(0, 1, 3)
+	b.Add(2, 2, -1)
+	b.Add(1, 0, 4)
+	m := b.Build()
+	if got := m.At(0, 1); got != 5 {
+		t.Fatalf("duplicate accumulation: got %g, want 5", got)
+	}
+	if got := m.At(1, 0); got != 4 {
+		t.Fatalf("At(1,0) = %g, want 4", got)
+	}
+	if got := m.At(2, 2); got != -1 {
+		t.Fatalf("At(2,2) = %g, want -1", got)
+	}
+	if got := m.At(2, 0); got != 0 {
+		t.Fatalf("missing entry must read 0, got %g", got)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", m.NNZ())
+	}
+}
+
+func TestBuilderDropsCancelledZeros(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1.5)
+	b.Add(0, 0, -1.5)
+	b.Add(1, 1, 2)
+	m := b.Build()
+	if m.NNZ() != 1 {
+		t.Fatalf("cancelled entry must be dropped, nnz = %d", m.NNZ())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Add")
+		}
+	}()
+	NewBuilder(2).Add(2, 0, 1)
+}
+
+func TestCSRMulVec(t *testing.T) {
+	// [2 1; 0 3] * [1 2] = [4 6]
+	b := NewBuilder(2)
+	b.Add(0, 0, 2)
+	b.Add(0, 1, 1)
+	b.Add(1, 1, 3)
+	m := b.Build()
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 2})
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("MulVec = %v, want [4 6]", dst)
+	}
+}
+
+func TestDenseCholeskySolve(t *testing.T) {
+	// SPD matrix [4 2; 2 3], b = [8 7] -> x = [1.25, 1.5]
+	d := NewDense(2)
+	d.Set(0, 0, 4)
+	d.Set(0, 1, 2)
+	d.Set(1, 0, 2)
+	d.Set(1, 1, 3)
+	ch, err := d.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.Solve([]float64{8, 7})
+	if !almostEq(x[0], 1.25, 1e-12) || !almostEq(x[1], 1.5, 1e-12) {
+		t.Fatalf("solve = %v, want [1.25 1.5]", x)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	d := NewDense(2)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, -1)
+	if _, err := d.Cholesky(); err == nil {
+		t.Fatal("indefinite matrix must be rejected")
+	}
+}
+
+func TestCGMatchesCholesky(t *testing.T) {
+	// Random SPD system A = Mᵀ M + I; CG and Cholesky must agree.
+	rng := rand.New(rand.NewSource(17))
+	n := 30
+	d := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			d.Addd(i, j, v)
+		}
+	}
+	// A = L Lᵀ + n*I (SPD by construction).
+	a := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += d.At(i, k) * d.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+		a.Addd(i, i, float64(n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ch, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ch.Solve(b)
+	got, iters, err := CG(a, b, nil, CGOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 {
+		t.Fatal("CG should iterate for a random rhs")
+	}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-8) {
+			t.Fatalf("x[%d]: CG %g vs Cholesky %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	x, iters, err := CG(b.Build(), []float64{0, 0}, nil, CGOptions{})
+	if err != nil || iters != 0 {
+		t.Fatalf("zero rhs: err=%v iters=%d", err, iters)
+	}
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("zero rhs must give zero solution, got %v", x)
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 5)
+	m := b.Build()
+	rhs := []float64{4, 10}
+	exact := []float64{2, 2}
+	_, cold, err := CG(m, rhs, nil, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := CG(m, rhs, exact, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != 0 {
+		t.Fatalf("warm start at the solution must take 0 iterations, took %d", warm)
+	}
+	if cold == 0 {
+		t.Fatal("cold start must iterate")
+	}
+}
+
+func TestCGDimensionMismatch(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	if _, _, err := CG(b.Build(), []float64{1}, nil, CGOptions{}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestCGBreakdownOnIndefinite(t *testing.T) {
+	d := NewDense(2)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, -2)
+	if _, _, err := CG(d, []float64{0, 1}, nil, CGOptions{}); err == nil {
+		t.Fatal("CG must report breakdown on an indefinite matrix")
+	}
+}
+
+func TestLaplacianSeriesResistors(t *testing.T) {
+	// 0 -1Ω- 1 -1Ω- 2: R(0,2) = 2.
+	lap, err := NewLaplacian(3, []WeightedEdge{{0, 1, 1}, {1, 2, 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := lap.EffectiveResistance(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 2, 1e-9) {
+		t.Fatalf("series resistance = %g, want 2", r)
+	}
+}
+
+func TestLaplacianParallelResistors(t *testing.T) {
+	// Two 1Ω conductors in parallel between 0 and 1: R = 0.5.
+	lap, err := NewLaplacian(2, []WeightedEdge{{0, 1, 1}, {0, 1, 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := lap.EffectiveResistance(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 0.5, 1e-9) {
+		t.Fatalf("parallel resistance = %g, want 0.5", r)
+	}
+}
+
+func TestLaplacianWheatstoneBridge(t *testing.T) {
+	// Balanced Wheatstone bridge, all 1Ω: R(s,t) = 1.
+	// s=0, t=3, mid nodes 1, 2, bridge 1-2.
+	edges := []WeightedEdge{
+		{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}, {1, 2, 1},
+	}
+	lap, err := NewLaplacian(4, edges, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := lap.EffectiveResistance(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-9) {
+		t.Fatalf("balanced bridge resistance = %g, want 1", r)
+	}
+}
+
+func TestLaplacianGridAgainstCholesky(t *testing.T) {
+	// 5x5 grid graph, unit conductances: CG solve must match the dense
+	// Cholesky solve of the grounded Laplacian.
+	const w, h = 5, 5
+	id := func(x, y int) int { return y*w + x }
+	var edges []WeightedEdge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, WeightedEdge{id(x, y), id(x+1, y), 1})
+			}
+			if y+1 < h {
+				edges = append(edges, WeightedEdge{id(x, y), id(x, y+1), 1})
+			}
+		}
+	}
+	ground := id(w-1, h-1)
+	lap, err := NewLaplacian(w*h, edges, ground)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, w*h)
+	b[id(0, 0)] = 1
+	b[ground] = -1
+	got, err := lap.Solve(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := lap.Matrix().Dense().Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, w*h-1)
+	rhs[0] = 1 // node (0,0) maps to grounded index 0
+	want := ch.Solve(rhs)
+	for gi, node := 0, 0; node < w*h; node++ {
+		if node == ground {
+			continue
+		}
+		if !almostEq(got[node], want[gi], 1e-7) {
+			t.Fatalf("node %d: CG %g vs Cholesky %g", node, got[node], want[gi])
+		}
+		gi++
+	}
+}
+
+func TestLaplacianRejectsBadInput(t *testing.T) {
+	if _, err := NewLaplacian(1, nil, 0); err == nil {
+		t.Fatal("n=1 must be rejected")
+	}
+	if _, err := NewLaplacian(3, nil, 5); err == nil {
+		t.Fatal("ground out of range must be rejected")
+	}
+	if _, err := NewLaplacian(3, []WeightedEdge{{0, 0, 1}}, 0); err == nil {
+		t.Fatal("self loop must be rejected")
+	}
+	if _, err := NewLaplacian(3, []WeightedEdge{{0, 1, -2}}, 0); err == nil {
+		t.Fatal("negative weight must be rejected")
+	}
+	if _, err := NewLaplacian(3, []WeightedEdge{{0, 7, 1}}, 0); err == nil {
+		t.Fatal("out-of-range edge must be rejected")
+	}
+}
+
+func TestQuickEffectiveResistanceTriangleInequality(t *testing.T) {
+	// Effective resistance is a metric: R(a,c) <= R(a,b) + R(b,c).
+	rng := rand.New(rand.NewSource(23))
+	f := func() bool {
+		n := 4 + rng.Intn(5)
+		var edges []WeightedEdge
+		// Ring to guarantee connectivity, plus random chords.
+		for i := 0; i < n; i++ {
+			edges = append(edges, WeightedEdge{i, (i + 1) % n, 0.5 + rng.Float64()})
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, WeightedEdge{u, v, 0.5 + rng.Float64()})
+			}
+		}
+		lap, err := NewLaplacian(n, edges, 0)
+		if err != nil {
+			return false
+		}
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		rab, err1 := lap.EffectiveResistance(a, b)
+		rbc, err2 := lap.EffectiveResistance(b, c)
+		rac, err3 := lap.EffectiveResistance(a, c)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return rac <= rab+rbc+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(24))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRayleighMonotonicity(t *testing.T) {
+	// Adding an edge can only decrease effective resistance.
+	rng := rand.New(rand.NewSource(25))
+	f := func() bool {
+		n := 4 + rng.Intn(4)
+		var edges []WeightedEdge
+		for i := 0; i < n; i++ {
+			edges = append(edges, WeightedEdge{i, (i + 1) % n, 0.5 + rng.Float64()})
+		}
+		lap1, err := NewLaplacian(n, edges, 0)
+		if err != nil {
+			return false
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		for u == v {
+			v = rng.Intn(n)
+		}
+		more := append(append([]WeightedEdge(nil), edges...), WeightedEdge{u, v, 1})
+		lap2, err := NewLaplacian(n, more, 0)
+		if err != nil {
+			return false
+		}
+		s, tt := rng.Intn(n), rng.Intn(n)
+		r1, err1 := lap1.EffectiveResistance(s, tt)
+		r2, err2 := lap2.EffectiveResistance(s, tt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2 <= r1+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(26))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseMulVecMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := NewBuilder(8)
+	for k := 0; k < 20; k++ {
+		b.Add(rng.Intn(8), rng.Intn(8), rng.NormFloat64())
+	}
+	m := b.Build()
+	d := m.Dense()
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 8)
+	y2 := make([]float64, 8)
+	m.MulVec(y1, x)
+	d.MulVec(y2, x)
+	for i := range y1 {
+		if !almostEq(y1[i], y2[i], 1e-12) {
+			t.Fatalf("CSR vs Dense MulVec differ at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}

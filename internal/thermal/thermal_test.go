@@ -1,0 +1,131 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"sprout/internal/extract"
+	"sprout/internal/geom"
+	"sprout/internal/route"
+)
+
+func stripOp(t *testing.T, w, h int64, amps float64) (*extract.OperatingPoint, extract.Options) {
+	t.Helper()
+	shape := geom.RegionFromRect(geom.R(0, 0, w, h))
+	source := route.Terminal{Name: "S", Shape: geom.RegionFromRect(geom.R(0, 0, 5, h)), Current: amps}
+	load := route.Terminal{Name: "T", Shape: geom.RegionFromRect(geom.R(w-5, 0, w, h)), Current: amps}
+	opt := extract.Options{Pitch: 5, SheetOhms: 0.001, HeightUM: 100}
+	op, err := extract.DCOperate(shape, source, []route.Terminal{load}, amps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op, opt
+}
+
+func TestSimulateEnergyBalance(t *testing.T) {
+	// Total heat in equals total heat out: Σ h·A_i·T_i == Σ q_i.
+	op, exOpt := stripOp(t, 100, 10, 2)
+	opt := Options{BoardHTC: 800, UnitMM: 0.1, CopperUM: 35}
+	m, err := Simulate(op, exOpt.SheetOhms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitM := 0.1e-3
+	var out float64
+	for i, rise := range m.RiseC {
+		out += 800 * float64(op.TG.Area[i]) * unitM * unitM * rise
+	}
+	if math.Abs(out-m.TotalPowerW)/m.TotalPowerW > 1e-6 {
+		t.Fatalf("heat out %g != heat in %g", out, m.TotalPowerW)
+	}
+}
+
+func TestSimulateNoLateralMatchesLocalBalance(t *testing.T) {
+	// With (effectively) zero lateral conduction every node balances
+	// locally: T_i = q_i / (h·A_i).
+	op, exOpt := stripOp(t, 100, 10, 1)
+	opt := Options{CopperWPerMK: 1e-12, BoardHTC: 500, UnitMM: 0.1, CopperUM: 35}
+	m, err := Simulate(op, exOpt.SheetOhms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := op.NodeJouleHeat(exOpt.SheetOhms)
+	unitM := 0.1e-3
+	for i := range m.RiseC {
+		want := q[i] / (500 * float64(op.TG.Area[i]) * unitM * unitM)
+		if math.Abs(m.RiseC[i]-want) > 1e-9+1e-6*want {
+			t.Fatalf("node %d rise %g, want %g", i, m.RiseC[i], want)
+		}
+	}
+}
+
+func TestSimulateLateralSpreadingFlattens(t *testing.T) {
+	// Strong lateral conduction must reduce the hotspot versus weak
+	// lateral conduction (same heat, same sink).
+	op, exOpt := stripOp(t, 100, 10, 2)
+	weak, err := Simulate(op, exOpt.SheetOhms, Options{CopperWPerMK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Simulate(op, exOpt.SheetOhms, Options{CopperWPerMK: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.MaxRiseC >= weak.MaxRiseC {
+		t.Fatalf("spreading must flatten the hotspot: %g vs %g", strong.MaxRiseC, weak.MaxRiseC)
+	}
+}
+
+func TestSimulateHotspotAtConstriction(t *testing.T) {
+	// A dumbbell: two plates joined by a narrow neck. The neck carries the
+	// full current at high density — the hotspot must sit in or near it.
+	shape := geom.RegionFromRects([]geom.Rect{
+		{X0: 0, Y0: 0, X1: 40, Y1: 40},
+		{X0: 40, Y0: 17, X1: 80, Y1: 23}, // 6-wide neck
+		{X0: 80, Y0: 0, X1: 120, Y1: 40},
+	})
+	source := route.Terminal{Name: "S", Shape: geom.RegionFromRect(geom.R(0, 15, 5, 25)), Current: 3}
+	load := route.Terminal{Name: "T", Shape: geom.RegionFromRect(geom.R(115, 15, 120, 25)), Current: 3}
+	exOpt := extract.Options{Pitch: 5, SheetOhms: 0.001, HeightUM: 100}
+	op, err := extract.DCOperate(shape, source, []route.Terminal{load}, 3, exOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Simulate(op, exOpt.SheetOhms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hotspot.X < 35 || m.Hotspot.X > 85 {
+		t.Fatalf("hotspot at %v, want inside the neck (x in [40,80])", m.Hotspot)
+	}
+	if m.MaxRiseC <= 0 {
+		t.Fatalf("max rise = %g", m.MaxRiseC)
+	}
+}
+
+func TestSimulateMoreCurrentQuadraticallyHotter(t *testing.T) {
+	op1, exOpt := stripOp(t, 100, 10, 1)
+	op2, _ := stripOp(t, 100, 10, 2)
+	m1, err := Simulate(op1, exOpt.SheetOhms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Simulate(op2, exOpt.SheetOhms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := m2.MaxRiseC / m1.MaxRiseC
+	if math.Abs(ratio-4) > 0.2 {
+		t.Fatalf("doubling current must ~quadruple the rise, got x%g", ratio)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, 0.001, Options{}); err == nil {
+		t.Fatal("nil op must error")
+	}
+	op, _ := stripOp(t, 50, 10, 1)
+	if _, err := Simulate(op, 0, Options{}); err == nil {
+		t.Fatal("zero sheet resistance must error")
+	}
+}

@@ -1,0 +1,121 @@
+package sprout
+
+import (
+	"fmt"
+	"sort"
+
+	"sprout/internal/board"
+	"sprout/internal/geom"
+	"sprout/internal/route"
+)
+
+// MLRouteOptions configures a multilayer routing run.
+type MLRouteOptions struct {
+	// Layers lists the candidate routing layers in preference order;
+	// empty selects every non-plane layer.
+	Layers []int
+	// Budgets maps each net to its per-component metal-area budget.
+	Budgets map[board.NetID]int64
+	// Config tunes the per-component SPROUT pipeline.
+	Config route.Config
+	// ViaPitch is the planning tile size for the 3-D graph (paper Alg. 6
+	// uses the via pitch). Zero selects 2x the routing tile.
+	ViaPitch int64
+}
+
+// MLNetResult is one net routed across layers.
+type MLNetResult struct {
+	Net    board.NetID
+	Name   string
+	Vias   []route.Via
+	Copper map[int]geom.Region // layer -> copper
+}
+
+// MLBoardResult is the output of RouteBoardMultilayer.
+type MLBoardResult struct {
+	Board *board.Board
+	Nets  []MLNetResult
+}
+
+// RouteBoardMultilayer routes every net that has terminal groups on any
+// routable layer, using the Appendix Algorithm 6 decomposition: plan the
+// cheapest layer assignment through a 3-D via graph, then run the
+// single-layer SPROUT pipeline on every engaged layer component. Copper of
+// previously routed nets is removed (with clearance) from the space of the
+// remaining nets on every layer, as in the single-layer driver.
+func RouteBoardMultilayer(b *board.Board, opt MLRouteOptions) (*MLBoardResult, error) {
+	layers := opt.Layers
+	if len(layers) == 0 {
+		layers = b.RoutableLayers()
+	}
+	sort.Ints(layers)
+	for _, l := range layers {
+		if l < 1 || l > b.Stackup.NumLayers() {
+			return nil, fmt.Errorf("sprout: multilayer layer %d out of range", l)
+		}
+		if b.Stackup.Layer(l).IsPlane {
+			return nil, fmt.Errorf("sprout: layer %d is a reference plane", l)
+		}
+	}
+	viaPitch := opt.ViaPitch
+	if viaPitch <= 0 {
+		viaPitch = 2 * b.Rules.TileDX
+		if viaPitch < 2 {
+			viaPitch = 2
+		}
+	}
+
+	out := &MLBoardResult{Board: b}
+	// copper[layer] accumulates routed copper per layer across nets.
+	copper := map[int]geom.Region{}
+	for _, net := range b.Nets {
+		// Gather the net's terminals over all candidate layers.
+		var terms []route.MLTerminal
+		for _, layer := range layers {
+			for _, g := range b.GroupsOn(net.ID, layer) {
+				terms = append(terms, route.MLTerminal{
+					Name: g.Name, Layer: layer, Shape: g.Shape(), Current: g.Current,
+				})
+			}
+		}
+		if len(terms) < 2 {
+			continue
+		}
+		spaces := make([]route.LayerSpace, 0, len(layers))
+		availOf := map[int]geom.Region{}
+		for _, layer := range layers {
+			avail := b.AvailableSpace(net.ID, layer)
+			if prev, ok := copper[layer]; ok {
+				avail = avail.Subtract(prev.Bloat(b.Rules.Clearance))
+			}
+			availOf[layer] = avail
+			spaces = append(spaces, route.LayerSpace{Layer: layer, Avail: avail})
+		}
+		plan, err := route.PlanMultilayer(spaces, terms, viaPitch, b.Rules.ViaCost)
+		if err != nil {
+			return nil, fmt.Errorf("sprout: net %s multilayer plan: %w", net.Name, err)
+		}
+		nr := MLNetResult{Net: net.ID, Name: net.Name, Vias: plan.Vias, Copper: map[int]geom.Region{}}
+		for _, layer := range plan.LayersUsed() {
+			cfg := opt.Config
+			if budget := opt.Budgets[net.ID]; budget > 0 {
+				cfg.AreaMax = budget
+			}
+			results, err := route.RouteLayer(availOf[layer], plan.PerLayer[layer], cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sprout: net %s layer %d: %w", net.Name, layer, err)
+			}
+			lc := geom.EmptyRegion()
+			for _, r := range results {
+				lc = lc.Union(r.Shape)
+			}
+			nr.Copper[layer] = lc
+			copper[layer] = copper[layer].Union(lc)
+		}
+		out.Nets = append(out.Nets, nr)
+	}
+	if len(out.Nets) == 0 {
+		return nil, fmt.Errorf("sprout: no multilayer-routable nets")
+	}
+	return out, nil
+}

@@ -1,0 +1,339 @@
+package sprout
+
+import (
+	"fmt"
+
+	"sprout/internal/board"
+	"sprout/internal/ckt"
+	"sprout/internal/drc"
+	"sprout/internal/extract"
+	"sprout/internal/geom"
+	"sprout/internal/manual"
+	"sprout/internal/route"
+)
+
+// Re-exported names so downstream users interact with one import.
+type (
+	// Board is the routing problem description (outline, stackup, nets,
+	// terminal groups, obstacles, design rules).
+	Board = board.Board
+	// Net is one power rail.
+	Net = board.Net
+	// NetID identifies a rail.
+	NetID = board.NetID
+	// TerminalGroup is an electrically common pad cluster.
+	TerminalGroup = board.TerminalGroup
+	// Stackup is the layer stack.
+	Stackup = board.Stackup
+	// Layer is one metal layer.
+	Layer = board.Layer
+	// DesignRules are the clearance and tiling rules.
+	DesignRules = board.DesignRules
+	// RouteConfig tunes the SPROUT pipeline.
+	RouteConfig = route.Config
+	// RouteResult is a routed net.
+	RouteResult = route.Result
+	// ExtractReport is an extracted impedance report.
+	ExtractReport = extract.Report
+	// PDNModel is the lumped rail model for transient analysis.
+	PDNModel = ckt.PDNModel
+	// Decap is a decoupling capacitor model.
+	Decap = ckt.Decap
+)
+
+// NewBoard validates and constructs a Board.
+func NewBoard(name string, outline geom.Rect, stackup Stackup, rules DesignRules) (*Board, error) {
+	return board.New(name, outline, stackup, rules)
+}
+
+// DefaultDecap returns a typical 10 µF MLCC decoupling capacitor model.
+func DefaultDecap() Decap { return ckt.DefaultDecap() }
+
+// Profile is a swept PDN impedance profile Z(f).
+type Profile = ckt.Profile
+
+// TargetMask is a piecewise impedance limit |Z(f)| <= mask(f).
+type TargetMask = ckt.TargetMask
+
+// MaskReport is the outcome of checking a profile against a target mask.
+type MaskReport = ckt.MaskReport
+
+// RailProfile sweeps the impedance profile of an extracted rail with its
+// decaps from fMin to fMax (log spaced, pointsPerDecade samples) — the
+// quantity the paper's Fig. 1 flow compares against the target impedance.
+func RailProfile(rep *extract.Report, net board.Net, decaps []ckt.Decap, fMin, fMax float64, pointsPerDecade int) (Profile, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("sprout: nil extraction report")
+	}
+	iload := net.Current
+	if iload <= 0 {
+		iload = 1
+	}
+	slew := net.SlewTimeNS
+	if slew <= 0 {
+		slew = 1
+	}
+	model := ckt.PDNModel{
+		VSupply: 1,
+		ROhms:   rep.ResistanceOhms,
+		LHenry:  rep.InductancePH * 1e-12,
+		Decaps:  decaps,
+		ILoad:   iload,
+		SlewNS:  slew,
+	}
+	return model.ImpedanceProfile(fMin, fMax, pointsPerDecade)
+}
+
+// TargetImpedance builds the flat Vdd·ripple/Imax target mask.
+func TargetImpedance(vdd, ripplePct, iMax float64) (TargetMask, error) {
+	return ckt.TargetFromRLC(vdd, ripplePct, iMax)
+}
+
+// Violation is a design-rule audit finding.
+type Violation = drc.Violation
+
+// DRCLimits configures the Audit checks.
+type DRCLimits = drc.Limits
+
+// Audit runs the design-rule audit over a routed board: clearance,
+// containment, blockages, terminal connectivity, minimum width, area
+// budgets and current density. Zero-valued limits inherit the board's
+// rules (clearance) and a one-tile budget slack.
+func Audit(res *BoardResult, lim DRCLimits) []Violation {
+	if lim.Clearance == 0 {
+		lim.Clearance = res.Board.Rules.Clearance
+	}
+	if lim.BudgetSlack == 0 {
+		lim.BudgetSlack = res.Board.Rules.TileDX * res.Board.Rules.TileDY
+	}
+	routed := map[string]drc.RoutedNet{}
+	for _, rail := range res.Rails {
+		routed[rail.Name] = drc.RoutedNet{
+			Copper:  rail.Route.Shape,
+			Budget:  rail.Budget,
+			Extract: rail.Extract,
+		}
+	}
+	return drc.AuditBoard(res.Board, res.Layer, routed, lim)
+}
+
+// RailResult bundles everything produced for one routed rail.
+type RailResult struct {
+	Net    board.NetID
+	Name   string
+	Budget int64
+	// Route is the SPROUT synthesis result.
+	Route *route.Result
+	// Extract is the impedance report of the SPROUT shape.
+	Extract *extract.Report
+	// Manual and ManualExtract hold the manual-baseline comparison when
+	// requested (paper Tables II-III).
+	Manual        *manual.Result
+	ManualExtract *extract.Report
+}
+
+// BoardResult is the output of RouteBoard.
+type BoardResult struct {
+	Board *board.Board
+	Layer int
+	Rails []RailResult
+}
+
+// RouteOptions configures a board-level routing run.
+type RouteOptions struct {
+	// Layer is the routing layer (1-indexed).
+	Layer int
+	// Budgets maps each net to its metal-area budget A_max. Nets without
+	// an entry use the router default (4x seed area).
+	Budgets map[board.NetID]int64
+	// Config tunes the per-net SPROUT pipeline; AreaMax inside it is
+	// overridden by Budgets.
+	Config route.Config
+	// WithManual also routes each rail with the manual-designer baseline
+	// at the same area budget and extracts it.
+	WithManual bool
+	// ExtractPitch overrides the extraction re-tiling pitch (0 = default).
+	ExtractPitch int64
+	// SkipExtract disables impedance extraction (routing-only runs).
+	SkipExtract bool
+	// Order overrides the sequential routing order (default: net id
+	// order). Earlier nets get first claim on the shared space.
+	Order []board.NetID
+}
+
+// RouteBoard synthesizes every net of the board on the chosen layer,
+// sequentially: once a rail is routed, its copper (plus clearance) is
+// removed from the available space of the remaining rails (paper §II-G:
+// "it is crucial to remove the routed polygon from the available space of
+// other nets"). Nets are processed in id order.
+func RouteBoard(b *board.Board, opt RouteOptions) (*BoardResult, error) {
+	if opt.Layer < 1 || opt.Layer > b.Stackup.NumLayers() {
+		return nil, fmt.Errorf("sprout: routing layer %d out of range [1,%d]", opt.Layer, b.Stackup.NumLayers())
+	}
+	layerInfo := b.Stackup.Layer(opt.Layer)
+	if layerInfo.IsPlane {
+		return nil, fmt.Errorf("sprout: layer %d is a reference plane, not routable", opt.Layer)
+	}
+	exOpt := extract.Options{
+		Pitch:     opt.ExtractPitch,
+		SheetOhms: layerInfo.SheetResistance(),
+		HeightUM:  b.Stackup.DistanceToPlaneUM(opt.Layer),
+	}
+
+	order := opt.Order
+	if len(order) == 0 {
+		for _, n := range b.Nets {
+			order = append(order, n.ID)
+		}
+	}
+	nets := make([]board.Net, 0, len(order))
+	seen := map[board.NetID]bool{}
+	for _, id := range order {
+		n, err := b.Net(id)
+		if err != nil {
+			return nil, err
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("sprout: net %s repeated in Order", n.Name)
+		}
+		seen[id] = true
+		nets = append(nets, n)
+	}
+
+	result := &BoardResult{Board: b, Layer: opt.Layer}
+	sproutCopper := geom.EmptyRegion()
+	manualCopper := geom.EmptyRegion()
+	for _, net := range nets {
+		terms, err := railTerminals(b, net.ID, opt.Layer)
+		if err != nil {
+			return nil, err
+		}
+		if len(terms) < 2 {
+			continue // nothing to route on this layer for this net
+		}
+		cfg := opt.Config
+		budget := opt.Budgets[net.ID]
+		if budget > 0 {
+			cfg.AreaMax = budget
+		}
+
+		baseAvail := b.AvailableSpace(net.ID, opt.Layer)
+		avail := baseAvail.Subtract(sproutCopper.Bloat(b.Rules.Clearance))
+		res, err := route.Route(avail, terms, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sprout: net %s: %w", net.Name, err)
+		}
+		sproutCopper = sproutCopper.Union(res.Shape)
+
+		rail := RailResult{Net: net.ID, Name: net.Name, Budget: cfg.AreaMax, Route: res}
+		if !opt.SkipExtract {
+			rep, err := extract.Extract(res.Shape.Union(termPads(terms)), terms, exOpt)
+			if err != nil {
+				return nil, fmt.Errorf("sprout: extract net %s: %w", net.Name, err)
+			}
+			rail.Extract = rep
+		}
+
+		if opt.WithManual {
+			mAvail := baseAvail.Subtract(manualCopper.Bloat(b.Rules.Clearance))
+			target := cfg.AreaMax
+			if target <= 0 {
+				target = res.Shape.Area()
+			}
+			tile := cfg.DX
+			if tile == 0 {
+				tile = 10
+			}
+			man, err := manual.Route(mAvail, terms, target, tile)
+			if err != nil {
+				return nil, fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, err)
+			}
+			manualCopper = manualCopper.Union(man.Shape)
+			rail.Manual = man
+			if !opt.SkipExtract {
+				rep, err := extract.Extract(man.Shape.Union(termPads(terms)), terms, exOpt)
+				if err != nil {
+					return nil, fmt.Errorf("sprout: extract manual net %s: %w", net.Name, err)
+				}
+				rail.ManualExtract = rep
+			}
+		}
+		result.Rails = append(result.Rails, rail)
+	}
+	if len(result.Rails) == 0 {
+		return nil, fmt.Errorf("sprout: no routable nets on layer %d", opt.Layer)
+	}
+	return result, nil
+}
+
+// railTerminals converts a net's terminal groups on the layer into routing
+// terminals.
+func railTerminals(b *board.Board, net board.NetID, layer int) ([]route.Terminal, error) {
+	groups := b.GroupsOn(net, layer)
+	terms := make([]route.Terminal, 0, len(groups))
+	for _, g := range groups {
+		terms = append(terms, route.Terminal{
+			Name:    g.Name,
+			Shape:   g.Shape(),
+			Current: g.Current,
+		})
+	}
+	return terms, nil
+}
+
+func termPads(terms []route.Terminal) geom.Region {
+	u := geom.EmptyRegion()
+	for _, t := range terms {
+		u = u.Union(t.Shape)
+	}
+	return u
+}
+
+// RailAnalysis is the Fig. 12c/d system-level view of one extracted rail.
+type RailAnalysis struct {
+	MinLoadVoltage float64 // volts (Fig. 12c)
+	EffLInductPH   float64 // effective inductance @ 25 MHz incl. decaps (Fig. 12b)
+	DelayNorm      float64 // normalized FinFET propagation delay (Fig. 12d)
+	PowerNorm      float64 // normalized dynamic power at the minimum voltage
+}
+
+// AnalyzeRail runs the transient and AC PDN analysis for an extracted rail
+// using the paper's modelling chain: extracted R/L + decaps + ramped load,
+// then the 32 nm FinFET guideline at the minimum load voltage.
+func AnalyzeRail(rep *extract.Report, net board.Net, vSupply float64, decaps []ckt.Decap) (*RailAnalysis, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("sprout: nil extraction report")
+	}
+	model := ckt.PDNModel{
+		VSupply: vSupply,
+		ROhms:   rep.ResistanceOhms,
+		LHenry:  rep.InductancePH * 1e-12,
+		Decaps:  decaps,
+		ILoad:   net.Current,
+		SlewNS:  net.SlewTimeNS,
+		// A 100 nF package-level capacitance: enough to damp the numerical
+		// ringing but small enough that the board-level inductance governs
+		// the droop, as in the paper's Fig. 12c study.
+		CLoadF:   100e-9,
+		CLoadESR: 0.005,
+	}
+	vmin, err := model.MinLoadVoltage()
+	if err != nil {
+		return nil, fmt.Errorf("sprout: rail %s transient: %w", net.Name, err)
+	}
+	leff, err := model.EffectiveInductancePH(25e6)
+	if err != nil {
+		return nil, fmt.Errorf("sprout: rail %s AC: %w", net.Name, err)
+	}
+	fin := ckt.DefaultFinFET()
+	delay, err := fin.Delay(vmin)
+	if err != nil {
+		return nil, fmt.Errorf("sprout: rail %s delay: %w", net.Name, err)
+	}
+	return &RailAnalysis{
+		MinLoadVoltage: vmin,
+		EffLInductPH:   leff,
+		DelayNorm:      delay,
+		PowerNorm:      fin.DynamicPower(vmin),
+	}, nil
+}
