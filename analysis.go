@@ -25,6 +25,9 @@ type DCResult struct {
 // current, every other terminal group sinks its weighted share) and the
 // resulting thermal map. vSupply scales the reported minimum voltage.
 func RailDC(b *board.Board, layer int, rail RailResult, vSupply float64) (*DCResult, error) {
+	if rail.Route == nil {
+		return nil, fmt.Errorf("sprout: rail %s has no route (failed rail? see Diag: %v)", rail.Name, rail.Diag.Err)
+	}
 	net, err := b.Net(rail.Net)
 	if err != nil {
 		return nil, err

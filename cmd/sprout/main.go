@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,15 +40,26 @@ func main() {
 	runDRC := flag.Bool("drc", false, "audit the routed layout against the design rules")
 	gerberPath := flag.String("gerber", "", "write the routed copper as an RS-274X Gerber layer file")
 	multilayer := flag.Bool("multilayer", false, "route across all routable layers with via planning (Appendix Alg. 6)")
+	timeout := flag.Duration("timeout", 0, "abort synthesis after this duration, e.g. 90s or 5m (0 = no limit)")
 	flag.Parse()
 
-	if err := run(*caseName, *boardPath, *withManual, *outDir, *dumpBoard, *runDRC, *gerberPath, *multilayer); err != nil {
-		fmt.Fprintln(os.Stderr, "sprout:", err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *caseName, *boardPath, *withManual, *outDir, *dumpBoard, *runDRC, *gerberPath, *multilayer); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "sprout: timed out after %v: %v\n", *timeout, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "sprout:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(caseName, boardPath string, withManual bool, outDir, dumpBoard string, runDRC bool, gerberPath string, multilayer bool) error {
+func run(ctx context.Context, caseName, boardPath string, withManual bool, outDir, dumpBoard string, runDRC bool, gerberPath string, multilayer bool) error {
 	var (
 		b       *board.Board
 		layer   int
@@ -92,11 +104,11 @@ func run(caseName, boardPath string, withManual bool, outDir, dumpBoard string, 
 	}
 
 	if multilayer {
-		return runMultilayer(b, budgets, cfg, outDir)
+		return runMultilayer(ctx, b, budgets, cfg, outDir)
 	}
 
 	start := time.Now()
-	res, err := sprout.RouteBoard(b, sprout.RouteOptions{
+	res, err := sprout.RouteBoardCtx(ctx, b, sprout.RouteOptions{
 		Layer:      layer,
 		Budgets:    budgets,
 		Config:     cfg,
@@ -104,6 +116,13 @@ func run(caseName, boardPath string, withManual bool, outDir, dumpBoard string, 
 	})
 	if err != nil {
 		return err
+	}
+	for _, rail := range res.FailedRails() {
+		state := "failed (no route)"
+		if rail.Diag.Degraded {
+			state = "degraded to seed-only route"
+		}
+		fmt.Fprintf(os.Stderr, "sprout: rail %s %s: %v\n", rail.Name, state, rail.Diag.Err)
 	}
 
 	cols := []string{"Net", "budget", "area", "R (mΩ)", "L @25MHz (pH)", "max J (A/unit)"}
@@ -113,14 +132,27 @@ func run(caseName, boardPath string, withManual bool, outDir, dumpBoard string, 
 	t := report.NewTable(fmt.Sprintf("%s — layer %d — synthesized in %v",
 		b.Name, layer, time.Since(start).Round(time.Millisecond)), cols...)
 	for _, rail := range res.Rails {
-		row := []interface{}{
-			rail.Name, rail.Budget, rail.Route.Shape.Area(),
-			rail.Extract.ResistanceOhms * 1e3,
-			rail.Extract.InductancePH,
-			rail.Extract.MaxCurrentDensity,
+		// Degraded or failed rails may lack a route or an extraction.
+		row := []interface{}{rail.Name, rail.Budget}
+		if rail.Route != nil {
+			row = append(row, rail.Route.Shape.Area())
+		} else {
+			row = append(row, "-")
+		}
+		if rail.Extract != nil {
+			row = append(row,
+				rail.Extract.ResistanceOhms*1e3,
+				rail.Extract.InductancePH,
+				rail.Extract.MaxCurrentDensity)
+		} else {
+			row = append(row, "-", "-", "-")
 		}
 		if withManual {
-			row = append(row, rail.ManualExtract.ResistanceOhms*1e3, rail.ManualExtract.InductancePH)
+			if rail.ManualExtract != nil {
+				row = append(row, rail.ManualExtract.ResistanceOhms*1e3, rail.ManualExtract.InductancePH)
+			} else {
+				row = append(row, "-", "-")
+			}
 		}
 		t.AddRow(row...)
 	}
@@ -150,6 +182,9 @@ func run(caseName, boardPath string, withManual bool, outDir, dumpBoard string, 
 		}
 		var nets []gerber.NetCopper
 		for _, rail := range res.Rails {
+			if rail.Route == nil {
+				continue
+			}
 			nets = append(nets, gerber.NetCopper{Name: rail.Name, Copper: rail.Route.Shape})
 		}
 		layerName := fmt.Sprintf("%s-L%d", b.Name, layer)
@@ -180,9 +215,9 @@ func run(caseName, boardPath string, withManual bool, outDir, dumpBoard string, 
 
 // runMultilayer routes every net across all routable layers and reports
 // per-layer copper, placed vias, and the via parasitic estimates.
-func runMultilayer(b *board.Board, budgets map[board.NetID]int64, cfg route.Config, outDir string) error {
+func runMultilayer(ctx context.Context, b *board.Board, budgets map[board.NetID]int64, cfg route.Config, outDir string) error {
 	start := time.Now()
-	res, err := sprout.RouteBoardMultilayer(b, sprout.MLRouteOptions{
+	res, err := sprout.RouteBoardMultilayerCtx(ctx, b, sprout.MLRouteOptions{
 		Budgets: budgets,
 		Config:  cfg,
 	})
@@ -281,6 +316,9 @@ func renderLayout(res *sprout.BoardResult, path string) error {
 		}
 	}
 	for i, rail := range res.Rails {
+		if rail.Route == nil {
+			continue
+		}
 		c.Region(rail.Route.Shape, svgout.Style{Fill: palette[i%len(palette)], Opacity: 0.85})
 	}
 	for _, g := range b.Groups {

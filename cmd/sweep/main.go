@@ -57,9 +57,10 @@ func run(steps int, minA, maxA float64, outDir string) error {
 			return err
 		}
 		res, err := sprout.RouteBoard(cs.Board, sprout.RouteOptions{
-			Layer:   cs.RoutingLayer,
-			Budgets: cs.Budgets,
-			Config:  cs.Config,
+			Layer:    cs.RoutingLayer,
+			Budgets:  cs.Budgets,
+			Config:   cs.Config,
+			FailFast: true,
 		})
 		if err != nil {
 			return fmt.Errorf("layout %d: %w", i+1, err)

@@ -1,0 +1,31 @@
+package sprout
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic recovered at the sprout API boundary. The
+// internal packages (graph, sparse, board, geom) panic on programming
+// errors; the public entry points convert those into errors so one
+// pathological board cannot take down a long-running service.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack captured at recovery time.
+	Stack []byte
+}
+
+// Error reports the panic value; the stack is available on the struct for
+// logging.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sprout: internal panic: %v", e.Value)
+}
+
+// recoverToError converts an in-flight panic into a *PanicError assigned
+// to *errp. Deferred at every public API boundary.
+func recoverToError(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &PanicError{Value: r, Stack: debug.Stack()}
+	}
+}

@@ -40,9 +40,10 @@ func main() {
 	}))
 
 	res, err := sprout.RouteBoard(b, sprout.RouteOptions{
-		Layer:   1,
-		Budgets: map[sprout.NetID]int64{vdd: 3500},
-		Config:  sprout.RouteConfig{DX: 5, DY: 5},
+		Layer:    1,
+		Budgets:  map[sprout.NetID]int64{vdd: 3500},
+		Config:   sprout.RouteConfig{DX: 5, DY: 5},
+		FailFast: true,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -71,9 +71,10 @@ func main() {
 		"budget", "R (mΩ)", "L (pH)", "peak |Z| (mΩ)", "at (MHz)", "worst ratio", "verdict")
 	for _, budget := range []int64{2200, 9000} {
 		res, err := sprout.RouteBoard(b, sprout.RouteOptions{
-			Layer:   1,
-			Budgets: map[sprout.NetID]int64{vdd: budget},
-			Config:  sprout.RouteConfig{DX: 5, DY: 5},
+			Layer:    1,
+			Budgets:  map[sprout.NetID]int64{vdd: budget},
+			Config:   sprout.RouteConfig{DX: 5, DY: 5},
+			FailFast: true,
 		})
 		if err != nil {
 			log.Fatalf("budget %d: %v", budget, err)

@@ -46,9 +46,10 @@ func main() {
 
 	// Synthesize with a 30 mm² copper budget and extract the impedance.
 	res, err := sprout.RouteBoard(b, sprout.RouteOptions{
-		Layer:   1,
-		Budgets: map[sprout.NetID]int64{vdd: 3000},
-		Config:  sprout.RouteConfig{DX: 5, DY: 5, ReheatDilations: 1},
+		Layer:    1,
+		Budgets:  map[sprout.NetID]int64{vdd: 3000},
+		Config:   sprout.RouteConfig{DX: 5, DY: 5, ReheatDilations: 1},
+		FailFast: true,
 	})
 	if err != nil {
 		log.Fatal(err)

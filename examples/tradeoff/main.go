@@ -67,9 +67,10 @@ func main() {
 	net, _ := b.Net(vdd)
 	for budget := int64(2500); budget <= 8500; budget += 1000 {
 		res, err := sprout.RouteBoard(b, sprout.RouteOptions{
-			Layer:   1,
-			Budgets: map[sprout.NetID]int64{vdd: budget},
-			Config:  sprout.RouteConfig{DX: 5, DY: 5},
+			Layer:    1,
+			Budgets:  map[sprout.NetID]int64{vdd: budget},
+			Config:   sprout.RouteConfig{DX: 5, DY: 5},
+			FailFast: true,
 		})
 		if err != nil {
 			log.Fatalf("budget %d: %v", budget, err)

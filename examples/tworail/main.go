@@ -28,6 +28,7 @@ func main() {
 		Budgets:    cs.Budgets,
 		Config:     cs.Config,
 		WithManual: true,
+		FailFast:   true,
 	})
 	if err != nil {
 		log.Fatal(err)

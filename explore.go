@@ -1,10 +1,19 @@
 package sprout
 
 import (
+	"context"
 	"fmt"
 
 	"sprout/internal/board"
 )
+
+// OrderError records one net ordering that failed to route.
+type OrderError struct {
+	// Order is the attempted net sequence.
+	Order []board.NetID
+	// Err is why the order failed.
+	Err error
+}
 
 // OrderExploration is the outcome of trying several net routing orders.
 type OrderExploration struct {
@@ -14,17 +23,35 @@ type OrderExploration struct {
 	BestOrder []board.NetID
 	// BestScore is the current-weighted total resistance of the winner.
 	BestScore float64
-	// Tried counts the evaluated orders.
+	// Tried counts the successfully evaluated orders.
 	Tried int
+	// Failed records every order that did not route, in trial order. An
+	// order that strands a later net is simply worse, so failures are not
+	// fatal as long as some order succeeds.
+	Failed []OrderError
 }
 
-// ExploreNetOrders routes the board under multiple net orderings and keeps
-// the one with the lowest current-weighted total resistance. Sequential
-// routing gives earlier nets first claim on shared space, so the order is
-// a genuine design variable — this is the paper's Fig. 2 exploration loop
-// applied to a parameter the paper leaves implicit. For up to four nets
-// every permutation is tried; beyond that, all rotations of the id order.
+// ExploreNetOrders explores net orderings without cancellation support;
+// see ExploreNetOrdersCtx.
 func ExploreNetOrders(b *board.Board, opt RouteOptions) (*OrderExploration, error) {
+	return ExploreNetOrdersCtx(context.Background(), b, opt)
+}
+
+// ExploreNetOrdersCtx routes the board under multiple net orderings and
+// keeps the one with the lowest current-weighted total resistance.
+// Sequential routing gives earlier nets first claim on shared space, so the
+// order is a genuine design variable — this is the paper's Fig. 2
+// exploration loop applied to a parameter the paper leaves implicit. For up
+// to four nets every permutation is tried; beyond that, all rotations of
+// the id order.
+//
+// Each order is routed with FailFast enabled so that an order which
+// strands a net registers as a failed order (collected in Failed) rather
+// than silently scoring a degraded board. When every order fails, the
+// returned exploration still carries the per-order errors alongside a
+// non-nil error.
+func ExploreNetOrdersCtx(ctx context.Context, b *board.Board, opt RouteOptions) (out *OrderExploration, err error) {
+	defer recoverToError(&err)
 	var ids []board.NetID
 	for _, n := range b.Nets {
 		if len(b.GroupsOn(n.ID, opt.Layer)) >= 2 {
@@ -46,18 +73,26 @@ func ExploreNetOrders(b *board.Board, opt RouteOptions) (*OrderExploration, erro
 		}
 	}
 
-	out := &OrderExploration{}
+	out = &OrderExploration{}
 	for _, order := range orders {
+		if cerr := ctx.Err(); cerr != nil {
+			return out, cerr
+		}
 		runOpt := opt
 		runOpt.Order = order
-		res, err := RouteBoard(b, runOpt)
-		if err != nil {
-			continue // an order that strands a later net is simply worse
+		runOpt.FailFast = true
+		res, rerr := RouteBoardCtx(ctx, b, runOpt)
+		if rerr != nil {
+			if isCtxErr(rerr) {
+				return out, rerr
+			}
+			out.Failed = append(out.Failed, OrderError{Order: order, Err: rerr})
+			continue
 		}
 		out.Tried++
-		score, err := weightedResistance(b, res)
-		if err != nil {
-			return nil, err
+		score, serr := weightedResistance(b, res)
+		if serr != nil {
+			return out, serr
 		}
 		if out.Best == nil || score < out.BestScore {
 			out.Best = res
@@ -66,7 +101,11 @@ func ExploreNetOrders(b *board.Board, opt RouteOptions) (*OrderExploration, erro
 		}
 	}
 	if out.Best == nil {
-		return nil, fmt.Errorf("sprout: no net order routed successfully")
+		if len(out.Failed) > 0 {
+			return out, fmt.Errorf("sprout: all %d net orders failed; first failure: %w",
+				len(out.Failed), out.Failed[0].Err)
+		}
+		return out, fmt.Errorf("sprout: no net order routed successfully")
 	}
 	return out, nil
 }

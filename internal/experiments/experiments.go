@@ -65,6 +65,7 @@ func routeCase(cs *cases.CaseStudy, withManual bool) (*sprout.BoardResult, error
 		Budgets:    cs.Budgets,
 		Config:     cs.Config,
 		WithManual: withManual,
+		FailFast:   true,
 	})
 }
 

@@ -1,0 +1,115 @@
+// Package faultinject provides deterministic fault-injection hooks for
+// testing SPROUT's failure paths. Production code places named check
+// points (Check) at interesting boundaries — the CG solver entry, the
+// SmartGrow loop, the refinement loop — and tests arm those sites to
+// fire a chosen action at a chosen call count: force a solver breakdown,
+// return ErrNoConvergence, or cancel a context mid-pipeline.
+//
+// The package is disabled by default and adds a single atomic load to
+// the hot path when no hook is armed, so check points are safe to leave
+// in performance-sensitive loops.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known injection sites. Constants live here (not in the packages
+// that check them) so tests can arm sites without import cycles.
+const (
+	// SiteCG fires once per CG invocation, before the first iteration.
+	SiteCG = "sparse.cg"
+	// SiteGrow fires once per SmartGrow loop iteration of the pipeline.
+	SiteGrow = "route.grow"
+	// SiteRefine fires once per SmartRefine iteration of the pipeline.
+	SiteRefine = "route.refine"
+)
+
+// hook is one armed injection site.
+type hook struct {
+	// at is the 1-indexed call count the hook fires on; 0 fires on every
+	// call.
+	at int
+	// fire runs when the hook triggers. A non-nil return is handed to the
+	// caller of Check as the injected fault; a nil return lets execution
+	// continue (useful for side effects such as cancelling a context).
+	fire func() error
+	// calls counts Check invocations against this site.
+	calls int
+}
+
+var (
+	// armed is the fast-path gate: zero means every Check is a no-op
+	// beyond one atomic load.
+	armed atomic.Int32
+	mu    sync.Mutex
+	hooks map[string]*hook
+)
+
+// Arm installs a hook at the site. at is the 1-indexed call count on
+// which fire runs (0 = every call). Re-arming a site resets its counter.
+func Arm(site string, at int, fire func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = map[string]*hook{}
+	}
+	if _, exists := hooks[site]; !exists {
+		armed.Add(1)
+	}
+	hooks[site] = &hook{at: at, fire: fire}
+}
+
+// Disarm removes the hook at the site, if any.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := hooks[site]; exists {
+		delete(hooks, site)
+		armed.Add(-1)
+	}
+}
+
+// Reset removes every hook and zeroes all counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(0)
+	hooks = nil
+}
+
+// Check is the production-side check point. It returns nil unless the
+// site is armed and the armed call count is reached, in which case it
+// returns whatever the hook's fire function returns. Check is safe for
+// concurrent use (CG runs inside a worker pool).
+func Check(site string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	h := hooks[site]
+	if h == nil {
+		mu.Unlock()
+		return nil
+	}
+	h.calls++
+	trigger := h.at == 0 || h.calls == h.at
+	fire := h.fire
+	mu.Unlock()
+	if !trigger || fire == nil {
+		return nil
+	}
+	return fire()
+}
+
+// Calls reports how many times Check has run against an armed site since
+// it was armed. Unarmed sites report zero.
+func Calls(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if h := hooks[site]; h != nil {
+		return h.calls
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestUnarmedCheckIsNil(t *testing.T) {
+	Reset()
+	if err := Check("nope"); err != nil {
+		t.Fatalf("unarmed check: %v", err)
+	}
+}
+
+func TestFiresAtChosenCallCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("site", 3, func() error { return boom })
+	for call := 1; call <= 5; call++ {
+		err := Check("site")
+		if call == 3 && !errors.Is(err, boom) {
+			t.Fatalf("call %d: want boom, got %v", call, err)
+		}
+		if call != 3 && err != nil {
+			t.Fatalf("call %d: want nil, got %v", call, err)
+		}
+	}
+	if got := Calls("site"); got != 5 {
+		t.Fatalf("Calls = %d, want 5", got)
+	}
+}
+
+func TestFiresEveryCallWhenAtZero(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("site", 0, func() error { return boom })
+	for call := 0; call < 3; call++ {
+		if err := Check("site"); !errors.Is(err, boom) {
+			t.Fatalf("call %d: want boom, got %v", call, err)
+		}
+	}
+}
+
+func TestNilFireContinues(t *testing.T) {
+	Reset()
+	defer Reset()
+	fired := false
+	Arm("site", 1, func() error { fired = true; return nil })
+	if err := Check("site"); err != nil {
+		t.Fatalf("nil-returning fire must continue, got %v", err)
+	}
+	if !fired {
+		t.Fatal("fire did not run")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("site", 0, func() error { return errors.New("boom") })
+	Disarm("site")
+	if err := Check("site"); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("site", 50, func() error { return boom })
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	hits := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if Check("site") != nil {
+					mu.Lock()
+					hits++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits != 1 {
+		t.Fatalf("hook fired %d times, want exactly once", hits)
+	}
+	if got := Calls("site"); got != 200 {
+		t.Fatalf("Calls = %d, want 200", got)
+	}
+}

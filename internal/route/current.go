@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -71,8 +72,9 @@ type pairSolution struct {
 }
 
 // solvePairs performs the nodal analysis of paper Eq. 3 for every terminal
-// pair over the member subgraph.
-func (tg *TileGraph) solvePairs(members []bool, warm *warmCache) (*pairSolution, error) {
+// pair over the member subgraph. Cancelling the context aborts the worker
+// pool between pair solves and inside the CG iterations.
+func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmCache) (*pairSolution, error) {
 	if len(members) != tg.G.N() {
 		return nil, fmt.Errorf("route: member mask len %d, want %d", len(members), tg.G.N())
 	}
@@ -147,7 +149,7 @@ func (tg *TileGraph) solvePairs(members []bool, warm *warmCache) (*pairSolution,
 				x0[ci] = warm.pairVolts[pi][orig[si]]
 			}
 		}
-		v, err := lap.Solve(b, x0)
+		v, err := lap.SolveCtx(ctx, b, x0)
 		if err != nil {
 			return fmt.Errorf("route: pair %d solve: %w", pi, err)
 		}
@@ -186,6 +188,10 @@ func (tg *TileGraph) solvePairs(members []bool, warm *warmCache) (*pairSolution,
 				if pi >= len(pairs) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
 				if err := solveOne(pi); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
@@ -200,12 +206,18 @@ func (tg *TileGraph) solvePairs(members []bool, warm *warmCache) (*pairSolution,
 	return sol, nil
 }
 
-// NodeCurrents evaluates the node-current metric over the member subgraph
-// (paper Algorithm 3). All terminals must be members and mutually
+// NodeCurrents evaluates the node-current metric without cancellation
+// support; see NodeCurrentsCtx.
+func (tg *TileGraph) NodeCurrents(members []bool, warm *warmCache) (*Metrics, error) {
+	return tg.NodeCurrentsCtx(context.Background(), members, warm)
+}
+
+// NodeCurrentsCtx evaluates the node-current metric over the member
+// subgraph (paper Algorithm 3). All terminals must be members and mutually
 // connected within the mask. warm may be nil; when reused across calls it
 // accelerates the underlying CG solves.
-func (tg *TileGraph) NodeCurrents(members []bool, warm *warmCache) (*Metrics, error) {
-	sol, err := tg.solvePairs(members, warm)
+func (tg *TileGraph) NodeCurrentsCtx(ctx context.Context, members []bool, warm *warmCache) (*Metrics, error) {
+	sol, err := tg.solvePairs(ctx, members, warm)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +250,7 @@ func (tg *TileGraph) NodeCurrents(members []bool, warm *warmCache) (*Metrics, er
 // under a unit current injected into pair p. pairs hold terminal indices
 // and weights the normalized injection weights.
 func (tg *TileGraph) PairVoltages(members []bool) (volts [][]float64, pairs [][2]int, weights []float64, err error) {
-	sol, err := tg.solvePairs(members, nil)
+	sol, err := tg.solvePairs(context.Background(), members, nil)
 	if err != nil {
 		return nil, nil, nil, err
 	}

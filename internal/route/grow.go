@@ -1,18 +1,25 @@
 package route
 
 import (
+	"context"
 	"sort"
 )
 
-// SmartGrow adds up to k boundary nodes to the member subgraph, choosing
+// SmartGrow grows the subgraph without cancellation support; see
+// SmartGrowCtx.
+func (tg *TileGraph) SmartGrow(members []bool, k int, warm *warmCache) ([]int, error) {
+	return tg.SmartGrowCtx(context.Background(), members, k, warm)
+}
+
+// SmartGrowCtx adds up to k boundary nodes to the member subgraph, choosing
 // the candidates adjacent to the members with the highest node current
 // (paper Algorithm 4). It returns the ids actually added. The caller is
 // responsible for stopping at the area budget.
-func (tg *TileGraph) SmartGrow(members []bool, k int, warm *warmCache) ([]int, error) {
+func (tg *TileGraph) SmartGrowCtx(ctx context.Context, members []bool, k int, warm *warmCache) ([]int, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	m, err := tg.NodeCurrents(members, warm)
+	m, err := tg.NodeCurrentsCtx(ctx, members, warm)
 	if err != nil {
 		return nil, err
 	}

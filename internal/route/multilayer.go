@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -263,15 +264,21 @@ func PlanMultilayer(spaces []LayerSpace, terms []MLTerminal, viaPitch int64, via
 	return plan, nil
 }
 
-// RouteLayer routes one layer of a multilayer plan. The available space of
-// a layer engaged by vias is typically disjoint (that is why vias were
+// RouteLayer routes one layer of a multilayer plan without cancellation
+// support; see RouteLayerCtx.
+func RouteLayer(avail geom.Region, terms []Terminal, cfg Config) ([]*Result, error) {
+	return RouteLayerCtx(context.Background(), avail, terms, cfg)
+}
+
+// RouteLayerCtx routes one layer of a multilayer plan. The available space
+// of a layer engaged by vias is typically disjoint (that is why vias were
 // needed), so the layer is decomposed into connected components and every
 // component holding two or more terminals is routed independently (paper
 // Appendix: "the routing process is separately performed on each layer,
 // from source to via, between vias, and from via to target"). Components
 // with fewer than two terminals need no copper. cfg.AreaMax applies per
 // component.
-func RouteLayer(avail geom.Region, terms []Terminal, cfg Config) ([]*Result, error) {
+func RouteLayerCtx(ctx context.Context, avail geom.Region, terms []Terminal, cfg Config) ([]*Result, error) {
 	comps := avail.Components()
 	byComp := make([][]Terminal, len(comps))
 	for _, t := range terms {
@@ -292,7 +299,10 @@ func RouteLayer(avail geom.Region, terms []Terminal, cfg Config) ([]*Result, err
 		if len(subset) < 2 {
 			continue
 		}
-		res, err := Route(comps[ci], subset, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := RouteCtx(ctx, comps[ci], subset, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("route: component %d: %w", ci, err)
 		}

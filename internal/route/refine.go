@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"sort"
 )
 
@@ -79,12 +80,18 @@ func (tg *TileGraph) terminalsConnected(members []bool) bool {
 	return true
 }
 
-// SmartRefine performs one refinement step (paper Algorithm 5): remove the
-// k lowest-current nodes, then re-grow k nodes at the highest-current
+// SmartRefine performs one refinement step without cancellation support;
+// see SmartRefineCtx.
+func (tg *TileGraph) SmartRefine(members []bool, k int, warm *warmCache) (float64, error) {
+	return tg.SmartRefineCtx(context.Background(), members, k, warm)
+}
+
+// SmartRefineCtx performs one refinement step (paper Algorithm 5): remove
+// the k lowest-current nodes, then re-grow k nodes at the highest-current
 // boundary. It returns the change in node count (normally zero) and the
 // resistance after the step.
-func (tg *TileGraph) SmartRefine(members []bool, k int, warm *warmCache) (float64, error) {
-	m, err := tg.NodeCurrents(members, warm)
+func (tg *TileGraph) SmartRefineCtx(ctx context.Context, members []bool, k int, warm *warmCache) (float64, error) {
+	m, err := tg.NodeCurrentsCtx(ctx, members, warm)
 	if err != nil {
 		return 0, err
 	}
@@ -94,21 +101,27 @@ func (tg *TileGraph) SmartRefine(members []bool, k int, warm *warmCache) (float6
 	}
 	// Re-grow exactly as many nodes as were removed (Alg. 5 line 7 calls
 	// SmartGrow with k).
-	if _, err := tg.SmartGrow(members, len(removed), warm); err != nil {
+	if _, err := tg.SmartGrowCtx(ctx, members, len(removed), warm); err != nil {
 		return 0, err
 	}
-	m2, err := tg.NodeCurrents(members, warm)
+	m2, err := tg.NodeCurrentsCtx(ctx, members, warm)
 	if err != nil {
 		return 0, err
 	}
 	return m2.Resistance, nil
 }
 
-// Erode removes member nodes in ascending current order until the member
-// area drops to at most areaMax (the erosion operation of the reheating
-// stage, §II-F). It recomputes the node-current metric every `batch`
-// removals to track the shifting current distribution.
+// Erode erodes to the area budget without cancellation support; see
+// ErodeCtx.
 func (tg *TileGraph) Erode(members []bool, areaMax int64, batch int, warm *warmCache) error {
+	return tg.ErodeCtx(context.Background(), members, areaMax, batch, warm)
+}
+
+// ErodeCtx removes member nodes in ascending current order until the
+// member area drops to at most areaMax (the erosion operation of the
+// reheating stage, §II-F). It recomputes the node-current metric every
+// `batch` removals to track the shifting current distribution.
+func (tg *TileGraph) ErodeCtx(ctx context.Context, members []bool, areaMax int64, batch int, warm *warmCache) error {
 	if batch < 1 {
 		batch = 1
 	}
@@ -118,7 +131,7 @@ func (tg *TileGraph) Erode(members []bool, areaMax int64, batch int, warm *warmC
 		if over <= 0 {
 			return nil
 		}
-		m, err := tg.NodeCurrents(members, warm)
+		m, err := tg.NodeCurrentsCtx(ctx, members, warm)
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,12 @@
 package route
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
+	"sprout/internal/faultinject"
 	"sprout/internal/geom"
 )
 
@@ -33,6 +36,23 @@ type Config struct {
 	// ErodeBatch is the number of nodes removed per erosion iteration
 	// during reheating. Default GrowNodes.
 	ErodeBatch int
+}
+
+// Validate rejects configurations that would silently misbehave once
+// withDefaults filled the zero fields: negative tile dimensions, a
+// negative area budget, or a refinement tolerance that is NaN or negative
+// (the improvement test would then never terminate refinement early).
+func (c Config) Validate() error {
+	if c.DX < 0 || c.DY < 0 {
+		return fmt.Errorf("route: tile dimensions DX=%d DY=%d must be non-negative (0 selects the default)", c.DX, c.DY)
+	}
+	if c.AreaMax < 0 {
+		return fmt.Errorf("route: AreaMax %d must be non-negative (0 selects 4x the seed area)", c.AreaMax)
+	}
+	if math.IsNaN(c.RefineTol) || c.RefineTol < 0 {
+		return fmt.Errorf("route: RefineTol %g must be a non-negative number (0 selects the default 1e-3)", c.RefineTol)
+	}
+	return nil
 }
 
 // withDefaults fills zero fields.
@@ -80,20 +100,76 @@ type Result struct {
 	Trace []IterRecord
 }
 
-// Route runs the full SPROUT pipeline on one net's available space
-// (paper Fig. 3): tile → seed → SmartGrow to the area budget → SmartRefine
-// → optional reheating → back conversion.
+// Route runs the full pipeline without cancellation support; see RouteCtx.
 func Route(avail geom.Region, terms []Terminal, cfg Config) (*Result, error) {
+	return RouteCtx(context.Background(), avail, terms, cfg)
+}
+
+// RouteCtx runs the full SPROUT pipeline on one net's available space
+// (paper Fig. 3): tile → seed → SmartGrow to the area budget → SmartRefine
+// → optional reheating → back conversion. The context is checked between
+// pipeline iterations and inside the linear solves; on cancellation the
+// pipeline aborts with ctx.Err().
+func RouteCtx(ctx context.Context, avail geom.Region, terms []Terminal, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	tg, err := BuildTileGraph(avail, terms, cfg.DX, cfg.DY)
 	if err != nil {
 		return nil, err
 	}
-	return tg.Route(cfg)
+	return tg.RouteCtx(ctx, cfg)
 }
 
-// Route runs the pipeline on an already built tile graph.
+// SeedOnly runs only the tiling and seed stages (paper Algorithm 2) — the
+// degraded route a rail falls back to when the full pipeline fails
+// (per-rail failure isolation). The result carries the seed shape and, when
+// the nodal analysis itself still works, its metrics; otherwise Resistance
+// is NaN.
+func SeedOnly(ctx context.Context, avail geom.Region, terms []Terminal, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	tg, err := BuildTileGraph(avail, terms, cfg.DX, cfg.DY)
+	if err != nil {
+		return nil, err
+	}
+	members, err := tg.Seed()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Shape:      tg.Union(members),
+		Members:    members,
+		Graph:      tg,
+		Resistance: math.NaN(),
+	}
+	if m, merr := tg.NodeCurrentsCtx(ctx, members, nil); merr == nil {
+		res.Resistance = m.Resistance
+		res.PairResistance = m.PairResistance
+	}
+	res.Trace = []IterRecord{{
+		Stage:      "seed",
+		Nodes:      MemberCount(members),
+		Area:       tg.MembersArea(members),
+		Resistance: res.Resistance,
+	}}
+	return res, nil
+}
+
+// Route runs the pipeline on an already built tile graph without
+// cancellation support; see RouteCtx.
 func (tg *TileGraph) Route(cfg Config) (*Result, error) {
+	return tg.RouteCtx(context.Background(), cfg)
+}
+
+// RouteCtx runs the pipeline on an already built tile graph.
+func (tg *TileGraph) RouteCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	var trace []IterRecord
@@ -114,7 +190,7 @@ func (tg *TileGraph) Route(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := tg.NodeCurrents(members, warm)
+	m, err := tg.NodeCurrentsCtx(ctx, members, warm)
 	if err != nil {
 		return nil, fmt.Errorf("route: seed metrics: %w", err)
 	}
@@ -149,15 +225,23 @@ func (tg *TileGraph) Route(cfg Config) (*Result, error) {
 	}
 
 	// Stage 2: SmartGrow until the area budget is reached (Alg. 4, §II-D).
+	// Each iteration is a cancellation point (and a fault-injection site so
+	// tests can abort mid-grow deterministically).
 	for tg.MembersArea(members) < areaMax {
-		added, err := tg.SmartGrow(members, growNodes, warm)
+		if err := faultinject.Check(faultinject.SiteGrow); err != nil {
+			return nil, fmt.Errorf("route: grow: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		added, err := tg.SmartGrowCtx(ctx, members, growNodes, warm)
 		if err != nil {
 			return nil, fmt.Errorf("route: grow: %w", err)
 		}
 		if len(added) == 0 {
 			break // space exhausted before the budget
 		}
-		mm, err := tg.NodeCurrents(members, warm)
+		mm, err := tg.NodeCurrentsCtx(ctx, members, warm)
 		if err != nil {
 			return nil, fmt.Errorf("route: grow metrics: %w", err)
 		}
@@ -166,14 +250,20 @@ func (tg *TileGraph) Route(cfg Config) (*Result, error) {
 
 	// The last grow batch may overshoot A_max; erode the excess before
 	// refining so the budget constraint of Eq. 5 holds from here on.
-	if err := tg.Erode(members, areaMax, erodeBatch, warm); err != nil {
+	if err := tg.ErodeCtx(ctx, members, areaMax, erodeBatch, warm); err != nil {
 		return nil, fmt.Errorf("route: trim: %w", err)
 	}
 
 	// Stage 3: SmartRefine until improvement is negligible (Alg. 5, §II-E).
 	refinePass := func(prev float64) (float64, error) {
 		for it := 0; it < cfg.RefineIters; it++ {
-			res, err := tg.SmartRefine(members, refineNodes, warm)
+			if err := faultinject.Check(faultinject.SiteRefine); err != nil {
+				return 0, err
+			}
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			res, err := tg.SmartRefineCtx(ctx, members, refineNodes, warm)
 			if err != nil {
 				return 0, err
 			}
@@ -185,7 +275,7 @@ func (tg *TileGraph) Route(cfg Config) (*Result, error) {
 		}
 		return prev, nil
 	}
-	mm, err := tg.NodeCurrents(members, warm)
+	mm, err := tg.NodeCurrentsCtx(ctx, members, warm)
 	if err != nil {
 		return nil, fmt.Errorf("route: trim metrics: %w", err)
 	}
@@ -202,20 +292,23 @@ func (tg *TileGraph) Route(cfg Config) (*Result, error) {
 
 	// Stage 4: reheating (§II-F): dilate past the budget, erode back.
 	if cfg.ReheatDilations > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for d := 0; d < cfg.ReheatDilations; d++ {
 			if tg.Dilate(members) == 0 {
 				break
 			}
 		}
-		mm, err := tg.NodeCurrents(members, warm)
+		mm, err := tg.NodeCurrentsCtx(ctx, members, warm)
 		if err != nil {
 			return nil, fmt.Errorf("route: dilate metrics: %w", err)
 		}
 		record("dilate", members, mm.Resistance)
-		if err := tg.Erode(members, areaMax, erodeBatch, warm); err != nil {
+		if err := tg.ErodeCtx(ctx, members, areaMax, erodeBatch, warm); err != nil {
 			return nil, fmt.Errorf("route: erode: %w", err)
 		}
-		mm, err = tg.NodeCurrents(members, warm)
+		mm, err = tg.NodeCurrentsCtx(ctx, members, warm)
 		if err != nil {
 			return nil, fmt.Errorf("route: erode metrics: %w", err)
 		}
@@ -235,7 +328,7 @@ func (tg *TileGraph) Route(cfg Config) (*Result, error) {
 		}
 	}
 
-	final, err := tg.NodeCurrents(members, warm)
+	final, err := tg.NodeCurrentsCtx(ctx, members, warm)
 	if err != nil {
 		return nil, fmt.Errorf("route: final metrics: %w", err)
 	}

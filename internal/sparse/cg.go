@@ -1,20 +1,35 @@
 package sparse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"sprout/internal/faultinject"
 )
 
 // ErrNoConvergence is returned when the iterative solver fails to reach the
 // requested tolerance within the iteration budget.
 var ErrNoConvergence = errors.New("sparse: conjugate gradient did not converge")
 
+// ErrBreakdown is returned (wrapped, with the offending pᵀAp value) when
+// the CG recurrence breaks down, which signals a matrix that is not
+// symmetric positive definite.
+var ErrBreakdown = errors.New("sparse: CG breakdown (matrix not SPD?)")
+
+// ctxCheckStride is how many CG iterations run between context
+// cancellation checks; one check per iteration would be noise next to the
+// sparse mat-vec, but a stride keeps the response latency bounded.
+const ctxCheckStride = 16
+
 // CGOptions configures the preconditioned conjugate-gradient solver.
 type CGOptions struct {
 	// Tol is the relative residual tolerance ‖b-Ax‖/‖b‖. Zero selects 1e-10.
+	// Negative or NaN values are rejected.
 	Tol float64
-	// MaxIter caps the iteration count. Zero selects 10*n + 100.
+	// MaxIter caps the iteration count. Zero selects 10*n + 100. Negative
+	// values are rejected.
 	MaxIter int
 	// Precond is the preconditioner diagonal (Jacobi). Nil disables
 	// preconditioning.
@@ -24,15 +39,47 @@ type CGOptions struct {
 	Apply func(dst, r []float64)
 }
 
-// CG solves A*x = b for symmetric positive definite A using the conjugate
-// gradient method with optional Jacobi preconditioning. x0 seeds the
-// iteration when non-nil (warm starts matter: SmartGrow re-solves nearly
-// identical systems every iteration). It returns the solution and the
-// number of iterations performed.
+// validate rejects option values that would loop forever (negative Tol
+// never satisfied by a residual check) or never iterate (negative
+// MaxIter).
+func (o CGOptions) validate() error {
+	if o.MaxIter < 0 {
+		return fmt.Errorf("sparse: CG MaxIter %d is negative; use 0 for the default budget", o.MaxIter)
+	}
+	if o.Tol < 0 || math.IsNaN(o.Tol) {
+		return fmt.Errorf("sparse: CG Tol %g must be a non-negative number; use 0 for the default 1e-10", o.Tol)
+	}
+	return nil
+}
+
+// CG solves A*x = b without cancellation support; see CGCtx.
 func CG(a Matrix, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
+	return CGCtx(context.Background(), a, b, x0, opt)
+}
+
+// CGCtx solves A*x = b for symmetric positive definite A using the
+// conjugate gradient method with optional Jacobi preconditioning. x0 seeds
+// the iteration when non-nil (warm starts matter: SmartGrow re-solves
+// nearly identical systems every iteration). It returns the solution and
+// the number of iterations performed. The context is checked periodically;
+// on cancellation the iteration aborts and ctx.Err() is returned.
+//
+// On ErrNoConvergence the best iterate found so far is still returned
+// alongside the error, so callers can inspect the residual or hand the
+// partial solution to a fallback.
+func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	n := a.Dim()
 	if len(b) != n {
 		return nil, 0, fmt.Errorf("sparse: CG rhs dim %d, want %d", len(b), n)
+	}
+	if err := opt.validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := faultinject.Check(faultinject.SiteCG); err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
 	}
 	tol := opt.Tol
 	if tol == 0 {
@@ -73,10 +120,15 @@ func CG(a Matrix, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	rz := dot(r, z)
 
 	for it := 1; it <= maxIter; it++ {
+		if it%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, it, err
+			}
+		}
 		a.MulVec(ap, p)
 		pap := dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
-			return nil, it, fmt.Errorf("sparse: CG breakdown, pᵀAp=%g (matrix not SPD?)", pap)
+			return nil, it, fmt.Errorf("sparse: pᵀAp=%g at iteration %d: %w", pap, it, ErrBreakdown)
 		}
 		alpha := rz / pap
 		for i := range x {

@@ -1,0 +1,256 @@
+package sparse
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"sprout/internal/faultinject"
+)
+
+// gridLaplacian builds a w x h grid-graph Laplacian with unit conductances
+// grounded at node 0, plus a matching rhs injecting +1 at the far corner.
+func gridLaplacian(t *testing.T, w, h int) (*Laplacian, []float64) {
+	t.Helper()
+	n := w * h
+	var edges []WeightedEdge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := y*w + x
+			if x+1 < w {
+				edges = append(edges, WeightedEdge{id, id + 1, 1})
+			}
+			if y+1 < h {
+				edges = append(edges, WeightedEdge{id, id + w, 1})
+			}
+		}
+	}
+	lap, err := NewLaplacian(n, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	b[0] = -1
+	return lap, b
+}
+
+// denseOracle solves the grounded system with dense Cholesky.
+func denseOracle(t *testing.T, lap *Laplacian, b []float64) []float64 {
+	t.Helper()
+	rhs := make([]float64, lap.N()-1)
+	gi := 0
+	for node := 0; node < lap.N(); node++ {
+		if node == lap.Ground() {
+			continue
+		}
+		rhs[gi] = b[node]
+		gi++
+	}
+	ch, err := lap.Matrix().Dense().Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.Solve(rhs)
+	out := make([]float64, lap.N())
+	gi = 0
+	for node := 0; node < lap.N(); node++ {
+		if node == lap.Ground() {
+			continue
+		}
+		out[node] = x[gi]
+		gi++
+	}
+	return out
+}
+
+func TestCGRejectsNegativeOptions(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	m := b.Build()
+	rhs := []float64{1, 1}
+	if _, _, err := CG(m, rhs, nil, CGOptions{MaxIter: -1}); err == nil {
+		t.Fatal("negative MaxIter must be rejected")
+	}
+	if _, _, err := CG(m, rhs, nil, CGOptions{Tol: -1e-9}); err == nil {
+		t.Fatal("negative Tol must be rejected")
+	}
+	if _, _, err := CG(m, rhs, nil, CGOptions{Tol: math.NaN()}); err == nil {
+		t.Fatal("NaN Tol must be rejected")
+	}
+}
+
+func TestCGBreakdownIsTyped(t *testing.T) {
+	d := NewDense(2)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, -2)
+	_, _, err := CG(d, []float64{0, 1}, nil, CGOptions{})
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("indefinite matrix: want ErrBreakdown, got %v", err)
+	}
+}
+
+func TestCGNoConvergenceReturnsBestIterate(t *testing.T) {
+	lap, b := gridLaplacian(t, 12, 12)
+	rhs := make([]float64, lap.N()-1)
+	for i := range rhs {
+		rhs[i] = b[i+1] // ground is node 0
+	}
+	x, iters, err := CG(lap.Matrix(), rhs, nil, CGOptions{MaxIter: 2, Tol: 1e-14})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+	if iters != 2 {
+		t.Fatalf("iters = %d, want the MaxIter budget 2", iters)
+	}
+	if x == nil {
+		t.Fatal("non-convergence must still return the best iterate")
+	}
+}
+
+func TestCGCancelledContext(t *testing.T) {
+	lap, b := gridLaplacian(t, 16, 16)
+	rhs := make([]float64, lap.N()-1)
+	for i := range rhs {
+		rhs[i] = b[i+1]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CGCtx(ctx, lap.Matrix(), rhs, nil, CGOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: want context.Canceled, got %v", err)
+	}
+}
+
+func TestLadderRecoversFromInjectedNoConvergence(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	lap, b := gridLaplacian(t, 10, 10)
+	want := denseOracle(t, lap, b)
+
+	// Rung 1's CG call fails with forced non-convergence; rung 2 must
+	// recover with the relaxed retry.
+	faultinject.Arm(faultinject.SiteCG, 1, func() error { return ErrNoConvergence })
+	got, err := lap.Solve(b, nil)
+	if err != nil {
+		t.Fatalf("ladder did not recover: %v", err)
+	}
+	if calls := faultinject.Calls(faultinject.SiteCG); calls < 2 {
+		t.Fatalf("expected a second CG attempt, saw %d calls", calls)
+	}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-5) {
+			t.Fatalf("x[%d]: ladder %g vs oracle %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLadderFallsBackToDenseCholesky(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	lap, b := gridLaplacian(t, 10, 10)
+	want := denseOracle(t, lap, b)
+
+	// Every CG invocation fails: both iterative rungs are exhausted and
+	// only the dense rung can deliver.
+	faultinject.Arm(faultinject.SiteCG, 0, func() error { return ErrNoConvergence })
+	got, err := lap.Solve(b, nil)
+	if err != nil {
+		t.Fatalf("dense fallback did not recover: %v", err)
+	}
+	if calls := faultinject.Calls(faultinject.SiteCG); calls != 2 {
+		t.Fatalf("CG calls = %d, want exactly the two iterative rungs", calls)
+	}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-5) {
+			t.Fatalf("x[%d]: dense fallback %g vs oracle %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLadderSolveErrorCarriesRungTrace(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	old := denseFallbackMax
+	denseFallbackMax = 1 // force the "system too large for dense" path
+	defer func() { denseFallbackMax = old }()
+
+	lap, b := gridLaplacian(t, 6, 6)
+	faultinject.Arm(faultinject.SiteCG, 0, func() error { return ErrNoConvergence })
+	_, err := lap.Solve(b, nil)
+	if err == nil {
+		t.Fatal("all rungs failing must surface an error")
+	}
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SolveError, got %T: %v", err, err)
+	}
+	if len(se.Attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3 rungs", len(se.Attempts))
+	}
+	wantRungs := []string{RungCG, RungCGRelaxed, RungDense}
+	for i, a := range se.Attempts {
+		if a.Rung != wantRungs[i] {
+			t.Fatalf("attempt %d rung = %q, want %q", i, a.Rung, wantRungs[i])
+		}
+		if a.Err == nil {
+			t.Fatalf("attempt %d has no error", i)
+		}
+	}
+	if !errors.Is(err, se.Err) {
+		t.Fatal("SolveError must unwrap to the last rung error")
+	}
+}
+
+func TestWarmStartNearSingularLaplacian(t *testing.T) {
+	// Two 4x4 grids joined by one very weak edge: the grounded Laplacian is
+	// near-singular (condition number ~1/1e-9), the regime where warm
+	// starts historically produced stale answers.
+	w, h := 4, 4
+	n := 2 * w * h
+	var edges []WeightedEdge
+	block := func(off int) {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				id := off + y*w + x
+				if x+1 < w {
+					edges = append(edges, WeightedEdge{id, id + 1, 1})
+				}
+				if y+1 < h {
+					edges = append(edges, WeightedEdge{id, id + w, 1})
+				}
+			}
+		}
+	}
+	block(0)
+	block(w * h)
+	edges = append(edges, WeightedEdge{w*h - 1, w * h, 1e-9}) // weak bridge
+	lap, err := NewLaplacian(n, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	b[0] = -1
+	b[n-1] = 1
+	want := denseOracle(t, lap, b)
+
+	cold, err := lap.Solve(b, nil)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	warm, err := lap.Solve(b, cold)
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	// The voltage across the weak bridge dominates; compare against the
+	// dense oracle in relative terms.
+	for i := range want {
+		if !almostEq(cold[i], want[i], 1e-4) {
+			t.Fatalf("cold x[%d]: %g vs oracle %g", i, cold[i], want[i])
+		}
+		if !almostEq(warm[i], want[i], 1e-4) {
+			t.Fatalf("warm x[%d]: %g vs oracle %g", i, warm[i], want[i])
+		}
+	}
+}

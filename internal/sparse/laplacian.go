@@ -1,6 +1,9 @@
 package sparse
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // WeightedEdge is an undirected graph edge with a positive conductance.
 type WeightedEdge struct {
@@ -92,12 +95,24 @@ func (l *Laplacian) Ground() int { return l.ground }
 // Matrix exposes the grounded CSR matrix (dimension n-1).
 func (l *Laplacian) Matrix() *CSR { return l.mat }
 
-// Solve computes node potentials for the injected currents b (full-length
-// n; the entry at the ground node is ignored — ground absorbs the return
-// current). The result is full-length with the ground entry fixed at 0.
-// warm, when non-nil, seeds the iteration with a previous full-length
-// solution.
+// Solve computes node potentials without cancellation support; see
+// SolveCtx.
 func (l *Laplacian) Solve(b []float64, warm []float64) ([]float64, error) {
+	return l.SolveCtx(context.Background(), b, warm)
+}
+
+// SolveCtx computes node potentials for the injected currents b
+// (full-length n; the entry at the ground node is ignored — ground absorbs
+// the return current). The result is full-length with the ground entry
+// fixed at 0. warm, when non-nil, seeds the iteration with a previous
+// full-length solution.
+//
+// The solve runs a resilience ladder: CG with IC(0) at the default
+// tolerance, then a cold Jacobi retry at a relaxed tolerance, then a dense
+// Cholesky factorization for small systems. When every rung fails the
+// returned error is a *SolveError carrying per-rung iteration counts and
+// residuals. Context cancellation aborts the ladder with ctx.Err().
+func (l *Laplacian) SolveCtx(ctx context.Context, b []float64, warm []float64) ([]float64, error) {
 	if len(b) != l.n {
 		return nil, fmt.Errorf("sparse: Solve rhs dim %d, want %d", len(b), l.n)
 	}
@@ -115,11 +130,7 @@ func (l *Laplacian) Solve(b []float64, warm []float64) ([]float64, error) {
 			x0[gi] = warm[node]
 		}
 	}
-	opt := CGOptions{Precond: l.diag}
-	if l.ic != nil {
-		opt.Apply = l.ic.Apply
-	}
-	x, _, err := CG(l.mat, rhs, x0, opt)
+	x, _, err := solveLadder(ctx, l.mat, l.diag, l.ic, rhs, x0)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: laplacian solve: %w", err)
 	}

@@ -1,6 +1,7 @@
 package sprout
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,13 +38,23 @@ type MLBoardResult struct {
 	Nets  []MLNetResult
 }
 
-// RouteBoardMultilayer routes every net that has terminal groups on any
+// RouteBoardMultilayer routes across layers without cancellation support;
+// see RouteBoardMultilayerCtx.
+func RouteBoardMultilayer(b *board.Board, opt MLRouteOptions) (*MLBoardResult, error) {
+	return RouteBoardMultilayerCtx(context.Background(), b, opt)
+}
+
+// RouteBoardMultilayerCtx routes every net that has terminal groups on any
 // routable layer, using the Appendix Algorithm 6 decomposition: plan the
 // cheapest layer assignment through a 3-D via graph, then run the
 // single-layer SPROUT pipeline on every engaged layer component. Copper of
 // previously routed nets is removed (with clearance) from the space of the
 // remaining nets on every layer, as in the single-layer driver.
-func RouteBoardMultilayer(b *board.Board, opt MLRouteOptions) (*MLBoardResult, error) {
+//
+// Internal panics are converted to *PanicError and a cancelled context
+// aborts between (and within) per-net routing passes with ctx.Err().
+func RouteBoardMultilayerCtx(ctx context.Context, b *board.Board, opt MLRouteOptions) (out *MLBoardResult, err error) {
+	defer recoverToError(&err)
 	layers := opt.Layers
 	if len(layers) == 0 {
 		layers = b.RoutableLayers()
@@ -65,10 +76,13 @@ func RouteBoardMultilayer(b *board.Board, opt MLRouteOptions) (*MLBoardResult, e
 		}
 	}
 
-	out := &MLBoardResult{Board: b}
+	out = &MLBoardResult{Board: b}
 	// copper[layer] accumulates routed copper per layer across nets.
 	copper := map[int]geom.Region{}
 	for _, net := range b.Nets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Gather the net's terminals over all candidate layers.
 		var terms []route.MLTerminal
 		for _, layer := range layers {
@@ -101,7 +115,7 @@ func RouteBoardMultilayer(b *board.Board, opt MLRouteOptions) (*MLBoardResult, e
 			if budget := opt.Budgets[net.ID]; budget > 0 {
 				cfg.AreaMax = budget
 			}
-			results, err := route.RouteLayer(availOf[layer], plan.PerLayer[layer], cfg)
+			results, err := route.RouteLayerCtx(ctx, availOf[layer], plan.PerLayer[layer], cfg)
 			if err != nil {
 				return nil, fmt.Errorf("sprout: net %s layer %d: %w", net.Name, layer, err)
 			}

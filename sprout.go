@@ -1,6 +1,8 @@
 package sprout
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"sprout/internal/board"
@@ -108,6 +110,9 @@ func Audit(res *BoardResult, lim DRCLimits) []Violation {
 	}
 	routed := map[string]drc.RoutedNet{}
 	for _, rail := range res.Rails {
+		if rail.Route == nil {
+			continue // unrouted rail: nothing to audit
+		}
 		routed[rail.Name] = drc.RoutedNet{
 			Copper:  rail.Route.Shape,
 			Budget:  rail.Budget,
@@ -117,19 +122,41 @@ func Audit(res *BoardResult, lim DRCLimits) []Violation {
 	return drc.AuditBoard(res.Board, res.Layer, routed, lim)
 }
 
+// RailDiag records what went wrong (if anything) while routing one rail.
+// With RouteOptions.FailFast disabled, a failing rail does not abort the
+// board: the failure lands here and the board result still carries every
+// other rail.
+type RailDiag struct {
+	// Err is the failure that prevented the full pipeline (or its
+	// extraction / manual baseline) from completing for this rail. Nil for
+	// a healthy rail.
+	Err error
+	// Degraded marks a rail whose Route is the seed-only fallback (paper
+	// Alg. 2) because the full grow/refine pipeline failed.
+	Degraded bool
+}
+
+// Failed reports whether the rail recorded any failure.
+func (d RailDiag) Failed() bool { return d.Err != nil }
+
 // RailResult bundles everything produced for one routed rail.
 type RailResult struct {
 	Net    board.NetID
 	Name   string
 	Budget int64
-	// Route is the SPROUT synthesis result.
+	// Route is the SPROUT synthesis result. With FailFast disabled it may
+	// be the degraded seed-only route (Diag.Degraded) or nil when even the
+	// seed stage failed (Diag.Err then says why).
 	Route *route.Result
-	// Extract is the impedance report of the SPROUT shape.
+	// Extract is the impedance report of the SPROUT shape (nil when
+	// extraction was skipped or failed; see Diag).
 	Extract *extract.Report
 	// Manual and ManualExtract hold the manual-baseline comparison when
 	// requested (paper Tables II-III).
 	Manual        *manual.Result
 	ManualExtract *extract.Report
+	// Diag carries this rail's failure record.
+	Diag RailDiag
 }
 
 // BoardResult is the output of RouteBoard.
@@ -137,6 +164,18 @@ type BoardResult struct {
 	Board *board.Board
 	Layer int
 	Rails []RailResult
+}
+
+// FailedRails lists the rails that recorded a failure (degraded or
+// unrouted).
+func (r *BoardResult) FailedRails() []RailResult {
+	var out []RailResult
+	for _, rail := range r.Rails {
+		if rail.Diag.Failed() {
+			out = append(out, rail)
+		}
+	}
+	return out
 }
 
 // RouteOptions configures a board-level routing run.
@@ -159,14 +198,35 @@ type RouteOptions struct {
 	// Order overrides the sequential routing order (default: net id
 	// order). Earlier nets get first claim on the shared space.
 	Order []board.NetID
+	// FailFast aborts RouteBoard on the first rail failure, restoring the
+	// historical all-or-nothing behavior. When false (the default), a
+	// failing rail degrades to its seed-only route (or is skipped when even
+	// the seed fails), the failure is recorded in the rail's Diag, and the
+	// remaining rails are still routed. Context cancellation always aborts
+	// regardless of this switch.
+	FailFast bool
 }
 
-// RouteBoard synthesizes every net of the board on the chosen layer,
+// RouteBoard synthesizes every net of the board without cancellation
+// support; see RouteBoardCtx.
+func RouteBoard(b *board.Board, opt RouteOptions) (*BoardResult, error) {
+	return RouteBoardCtx(context.Background(), b, opt)
+}
+
+// RouteBoardCtx synthesizes every net of the board on the chosen layer,
 // sequentially: once a rail is routed, its copper (plus clearance) is
 // removed from the available space of the remaining rails (paper §II-G:
 // "it is crucial to remove the routed polygon from the available space of
 // other nets"). Nets are processed in id order.
-func RouteBoard(b *board.Board, opt RouteOptions) (*BoardResult, error) {
+//
+// Failure semantics: internal panics are converted to *PanicError; a
+// cancelled or expired context aborts with ctx.Err(); and unless
+// opt.FailFast is set, a rail whose pipeline fails is isolated — degraded
+// to its seed-only route where possible — with the failure recorded in
+// its RailResult.Diag. An error is returned only when no rail routed at
+// all.
+func RouteBoardCtx(ctx context.Context, b *board.Board, opt RouteOptions) (result *BoardResult, err error) {
+	defer recoverToError(&err)
 	if opt.Layer < 1 || opt.Layer > b.Stackup.NumLayers() {
 		return nil, fmt.Errorf("sprout: routing layer %d out of range [1,%d]", opt.Layer, b.Stackup.NumLayers())
 	}
@@ -200,10 +260,13 @@ func RouteBoard(b *board.Board, opt RouteOptions) (*BoardResult, error) {
 		nets = append(nets, n)
 	}
 
-	result := &BoardResult{Board: b, Layer: opt.Layer}
+	result = &BoardResult{Board: b, Layer: opt.Layer}
 	sproutCopper := geom.EmptyRegion()
 	manualCopper := geom.EmptyRegion()
 	for _, net := range nets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		terms, err := railTerminals(b, net.ID, opt.Layer)
 		if err != nil {
 			return nil, err
@@ -219,43 +282,77 @@ func RouteBoard(b *board.Board, opt RouteOptions) (*BoardResult, error) {
 
 		baseAvail := b.AvailableSpace(net.ID, opt.Layer)
 		avail := baseAvail.Subtract(sproutCopper.Bloat(b.Rules.Clearance))
-		res, err := route.Route(avail, terms, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sprout: net %s: %w", net.Name, err)
-		}
-		sproutCopper = sproutCopper.Union(res.Shape)
-
-		rail := RailResult{Net: net.ID, Name: net.Name, Budget: cfg.AreaMax, Route: res}
-		if !opt.SkipExtract {
-			rep, err := extract.Extract(res.Shape.Union(termPads(terms)), terms, exOpt)
-			if err != nil {
-				return nil, fmt.Errorf("sprout: extract net %s: %w", net.Name, err)
+		rail := RailResult{Net: net.ID, Name: net.Name, Budget: cfg.AreaMax}
+		res, rerr := route.RouteCtx(ctx, avail, terms, cfg)
+		switch {
+		case rerr == nil:
+			rail.Route = res
+		case isCtxErr(rerr):
+			return nil, rerr // cancellation is never a rail fault
+		case opt.FailFast:
+			return nil, fmt.Errorf("sprout: net %s: %w", net.Name, rerr)
+		default:
+			// Per-rail isolation: record the failure and degrade to the
+			// seed-only route (paper Alg. 2). The seed ignores the area
+			// budget — a minimal connected shape beats no shape. When even
+			// seeding fails the rail stays unrouted but the board goes on.
+			rail.Diag.Err = fmt.Errorf("sprout: net %s: %w", net.Name, rerr)
+			if seed, serr := route.SeedOnly(ctx, avail, terms, cfg); serr == nil {
+				rail.Route = seed
+				rail.Diag.Degraded = true
+			} else if isCtxErr(serr) {
+				return nil, serr
 			}
-			rail.Extract = rep
 		}
 
-		if opt.WithManual {
+		if rail.Route != nil {
+			sproutCopper = sproutCopper.Union(rail.Route.Shape)
+			if !opt.SkipExtract {
+				rep, xerr := extract.Extract(rail.Route.Shape.Union(termPads(terms)), terms, exOpt)
+				if xerr != nil {
+					if opt.FailFast {
+						return nil, fmt.Errorf("sprout: extract net %s: %w", net.Name, xerr)
+					}
+					rail.Diag.Err = errors.Join(rail.Diag.Err,
+						fmt.Errorf("sprout: extract net %s: %w", net.Name, xerr))
+				} else {
+					rail.Extract = rep
+				}
+			}
+		}
+
+		if opt.WithManual && rail.Route != nil {
 			mAvail := baseAvail.Subtract(manualCopper.Bloat(b.Rules.Clearance))
 			target := cfg.AreaMax
 			if target <= 0 {
-				target = res.Shape.Area()
+				target = rail.Route.Shape.Area()
 			}
 			tile := cfg.DX
 			if tile == 0 {
 				tile = 10
 			}
-			man, err := manual.Route(mAvail, terms, target, tile)
-			if err != nil {
-				return nil, fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, err)
-			}
-			manualCopper = manualCopper.Union(man.Shape)
-			rail.Manual = man
-			if !opt.SkipExtract {
-				rep, err := extract.Extract(man.Shape.Union(termPads(terms)), terms, exOpt)
-				if err != nil {
-					return nil, fmt.Errorf("sprout: extract manual net %s: %w", net.Name, err)
+			man, merr := manual.Route(mAvail, terms, target, tile)
+			if merr != nil {
+				if opt.FailFast {
+					return nil, fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, merr)
 				}
-				rail.ManualExtract = rep
+				rail.Diag.Err = errors.Join(rail.Diag.Err,
+					fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, merr))
+			} else {
+				manualCopper = manualCopper.Union(man.Shape)
+				rail.Manual = man
+				if !opt.SkipExtract {
+					rep, xerr := extract.Extract(man.Shape.Union(termPads(terms)), terms, exOpt)
+					if xerr != nil {
+						if opt.FailFast {
+							return nil, fmt.Errorf("sprout: extract manual net %s: %w", net.Name, xerr)
+						}
+						rail.Diag.Err = errors.Join(rail.Diag.Err,
+							fmt.Errorf("sprout: extract manual net %s: %w", net.Name, xerr))
+					} else {
+						rail.ManualExtract = rep
+					}
+				}
 			}
 		}
 		result.Rails = append(result.Rails, rail)
@@ -263,7 +360,26 @@ func RouteBoard(b *board.Board, opt RouteOptions) (*BoardResult, error) {
 	if len(result.Rails) == 0 {
 		return nil, fmt.Errorf("sprout: no routable nets on layer %d", opt.Layer)
 	}
+	routed := 0
+	var firstErr error
+	for _, rail := range result.Rails {
+		if rail.Route != nil {
+			routed++
+		} else if firstErr == nil {
+			firstErr = rail.Diag.Err
+		}
+	}
+	if routed == 0 {
+		return nil, fmt.Errorf("sprout: every rail failed on layer %d: %w", opt.Layer, firstErr)
+	}
 	return result, nil
+}
+
+// isCtxErr reports whether err stems from context cancellation or
+// deadline expiry — failures that must abort the whole board rather than
+// degrade a rail.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // railTerminals converts a net's terminal groups on the layer into routing
