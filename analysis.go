@@ -26,7 +26,10 @@ type DCResult struct {
 // resulting thermal map. vSupply scales the reported minimum voltage.
 func RailDC(b *board.Board, layer int, rail RailResult, vSupply float64) (*DCResult, error) {
 	if rail.Route == nil {
-		return nil, fmt.Errorf("sprout: rail %s has no route (failed rail? see Diag: %v)", rail.Name, rail.Diag.Err)
+		if rail.Diag.Err != nil {
+			return nil, fmt.Errorf("sprout: rail %s has no route (failed rail: %w)", rail.Name, rail.Diag.Err)
+		}
+		return nil, fmt.Errorf("sprout: rail %s has no route", rail.Name)
 	}
 	net, err := b.Net(rail.Net)
 	if err != nil {

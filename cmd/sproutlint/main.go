@@ -1,0 +1,59 @@
+// Command sproutlint runs the SPROUT analyzer suite — ctxdelegate,
+// errwrap, faultpoint, floateq, mustcheck — over the named package
+// patterns (default ./...) and prints compiler-style findings.
+//
+//	go run ./cmd/sproutlint ./...
+//
+// Exit status: 0 when the tree is clean, 1 when findings were reported,
+// 2 on a loading or usage error. Suppress an individual finding with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory and itself linted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sprout/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	dirFlag := flag.String("C", ".", "directory whose module the patterns resolve in")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sproutlint [-C dir] [-list] [patterns...]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(*dirFlag, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sproutlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sproutlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -11,6 +11,8 @@
 package faultinject
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -25,6 +27,37 @@ const (
 	// SiteRefine fires once per SmartRefine iteration of the pipeline.
 	SiteRefine = "route.refine"
 )
+
+// registry is the canonical site table: every check point the production
+// code contains, with a one-line description of where it fires. It is the
+// single source of truth shared by the runtime (Arm rejects unknown
+// sites, so a typo'd hook name fails loudly instead of silently never
+// firing) and by the sproutlint faultpoint analyzer, which flags string
+// literals passed to this package that are not in the table.
+var registry = map[string]string{
+	SiteCG:     "sparse: CG solver entry, before the first iteration",
+	SiteGrow:   "route: one SmartGrow iteration of the pipeline",
+	SiteRefine: "route: one SmartRefine iteration of the pipeline",
+}
+
+// Sites returns the canonical site names in sorted order.
+func Sites() []string {
+	out := make([]string, 0, len(registry))
+	for s := range registry {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsSite reports whether name is a registered injection site.
+func IsSite(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// SiteDoc returns the registered description of a site ("" if unknown).
+func SiteDoc(name string) string { return registry[name] }
 
 // hook is one armed injection site.
 type hook struct {
@@ -49,7 +82,12 @@ var (
 
 // Arm installs a hook at the site. at is the 1-indexed call count on
 // which fire runs (0 = every call). Re-arming a site resets its counter.
+// Arming a site that is not in the canonical registry panics: an unknown
+// name is a test typo whose hook would otherwise silently never fire.
 func Arm(site string, at int, fire func() error) {
+	if !IsSite(site) {
+		panic(fmt.Sprintf("faultinject: Arm(%q): not a registered site (known: %v)", site, Sites()))
+	}
 	mu.Lock()
 	defer mu.Unlock()
 	if hooks == nil {

@@ -8,7 +8,7 @@ import (
 
 func TestUnarmedCheckIsNil(t *testing.T) {
 	Reset()
-	if err := Check("nope"); err != nil {
+	if err := Check(SiteRefine); err != nil {
 		t.Fatalf("unarmed check: %v", err)
 	}
 }
@@ -17,9 +17,9 @@ func TestFiresAtChosenCallCount(t *testing.T) {
 	Reset()
 	defer Reset()
 	boom := errors.New("boom")
-	Arm("site", 3, func() error { return boom })
+	Arm(SiteCG, 3, func() error { return boom })
 	for call := 1; call <= 5; call++ {
-		err := Check("site")
+		err := Check(SiteCG)
 		if call == 3 && !errors.Is(err, boom) {
 			t.Fatalf("call %d: want boom, got %v", call, err)
 		}
@@ -27,7 +27,7 @@ func TestFiresAtChosenCallCount(t *testing.T) {
 			t.Fatalf("call %d: want nil, got %v", call, err)
 		}
 	}
-	if got := Calls("site"); got != 5 {
+	if got := Calls(SiteCG); got != 5 {
 		t.Fatalf("Calls = %d, want 5", got)
 	}
 }
@@ -36,9 +36,9 @@ func TestFiresEveryCallWhenAtZero(t *testing.T) {
 	Reset()
 	defer Reset()
 	boom := errors.New("boom")
-	Arm("site", 0, func() error { return boom })
+	Arm(SiteCG, 0, func() error { return boom })
 	for call := 0; call < 3; call++ {
-		if err := Check("site"); !errors.Is(err, boom) {
+		if err := Check(SiteCG); !errors.Is(err, boom) {
 			t.Fatalf("call %d: want boom, got %v", call, err)
 		}
 	}
@@ -48,8 +48,8 @@ func TestNilFireContinues(t *testing.T) {
 	Reset()
 	defer Reset()
 	fired := false
-	Arm("site", 1, func() error { fired = true; return nil })
-	if err := Check("site"); err != nil {
+	Arm(SiteCG, 1, func() error { fired = true; return nil })
+	if err := Check(SiteCG); err != nil {
 		t.Fatalf("nil-returning fire must continue, got %v", err)
 	}
 	if !fired {
@@ -60,9 +60,9 @@ func TestNilFireContinues(t *testing.T) {
 func TestDisarm(t *testing.T) {
 	Reset()
 	defer Reset()
-	Arm("site", 0, func() error { return errors.New("boom") })
-	Disarm("site")
-	if err := Check("site"); err != nil {
+	Arm(SiteCG, 0, func() error { return errors.New("boom") })
+	Disarm(SiteCG)
+	if err := Check(SiteCG); err != nil {
 		t.Fatalf("disarmed site fired: %v", err)
 	}
 }
@@ -71,7 +71,7 @@ func TestConcurrentChecks(t *testing.T) {
 	Reset()
 	defer Reset()
 	boom := errors.New("boom")
-	Arm("site", 50, func() error { return boom })
+	Arm(SiteCG, 50, func() error { return boom })
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	hits := 0
@@ -80,7 +80,7 @@ func TestConcurrentChecks(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				if Check("site") != nil {
+				if Check(SiteCG) != nil {
 					mu.Lock()
 					hits++
 					mu.Unlock()
@@ -92,7 +92,40 @@ func TestConcurrentChecks(t *testing.T) {
 	if hits != 1 {
 		t.Fatalf("hook fired %d times, want exactly once", hits)
 	}
-	if got := Calls("site"); got != 200 {
+	if got := Calls(SiteCG); got != 200 {
 		t.Fatalf("Calls = %d, want 200", got)
 	}
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{SiteGrow, SiteRefine, SiteCG} // sorted: route.grow, route.refine, sparse.cg
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites() = %v, want %v", got, want)
+	}
+	for i, s := range want {
+		if got[i] != s {
+			t.Fatalf("Sites()[%d] = %q, want %q", i, got[i], s)
+		}
+		if !IsSite(s) {
+			t.Fatalf("IsSite(%q) = false", s)
+		}
+		if SiteDoc(s) == "" {
+			t.Fatalf("SiteDoc(%q) empty: every registered site needs a description", s)
+		}
+	}
+	if IsSite("sparse.gc") {
+		t.Fatal("IsSite accepted a typo'd site")
+	}
+}
+
+func TestArmRejectsUnregisteredSite(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Arm on an unregistered site must panic")
+		}
+	}()
+	Arm("sparse.gc", 1, nil)
 }

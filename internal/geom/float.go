@@ -1,0 +1,28 @@
+package geom
+
+import "math"
+
+// Eps is the default relative tolerance for floating-point comparisons in
+// the geometry layer: coarse enough to absorb the rounding of area and
+// chord computations, far finer than any design-rule quantity.
+const Eps = 1e-9
+
+// AlmostEqual reports whether a and b agree to within Eps, combining an
+// absolute test (for values near zero) with a relative one (for large
+// areas, where an absolute epsilon would be meaningless). This is the
+// comparison the floateq analyzer demands in place of == on floats.
+func AlmostEqual(a, b float64) bool {
+	return AlmostEqualTol(a, b, Eps)
+}
+
+// AlmostEqualTol is AlmostEqual with a caller-chosen tolerance.
+func AlmostEqualTol(a, b, tol float64) bool {
+	if a == b { //lint:ignore floateq the exact fast path is the point of this helper
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -67,6 +67,79 @@ func FuzzRegionOps(f *testing.F) {
 	})
 }
 
+// FuzzPolygonClip exercises the polygon → region clipping chain with two
+// fuzzer-chosen triangles: each is rasterized (the epsilon-free integer
+// discretization of the paper's polygon handling) and then clipped
+// against the other, checking the containment and partition laws that any
+// correct clipper must satisfy exactly in integer arithmetic.
+func FuzzPolygonClip(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(40), int64(0), int64(0), int64(40),
+		int64(10), int64(10), int64(50), int64(10), int64(10), int64(50), int64(1))
+	f.Add(int64(-20), int64(-20), int64(20), int64(-20), int64(0), int64(30),
+		int64(-20), int64(20), int64(20), int64(20), int64(0), int64(-30), int64(2))
+	f.Add(int64(0), int64(0), int64(100), int64(1), int64(1), int64(100),
+		int64(0), int64(0), int64(100), int64(1), int64(1), int64(100), int64(1)) // identical slivers
+	f.Add(int64(0), int64(0), int64(8), int64(0), int64(0), int64(8),
+		int64(100), int64(100), int64(108), int64(100), int64(100), int64(108), int64(3)) // disjoint
+	f.Fuzz(func(t *testing.T, ax0, ay0, ax1, ay1, ax2, ay2, bx0, by0, bx1, by1, bx2, by2, pitch int64) {
+		clamp := func(v int64) int64 {
+			const lim = 1 << 12
+			if v > lim {
+				return lim
+			}
+			if v < -lim {
+				return -lim
+			}
+			return v
+		}
+		if pitch < 1 {
+			pitch = 1
+		}
+		pitch = 1 + pitch%8
+		pa := Poly(Pt(clamp(ax0), clamp(ay0)), Pt(clamp(ax1), clamp(ay1)), Pt(clamp(ax2), clamp(ay2)))
+		pb := Poly(Pt(clamp(bx0), clamp(by0)), Pt(clamp(bx1), clamp(by1)), Pt(clamp(bx2), clamp(by2)))
+		a, err := pa.Rasterize(pitch)
+		if err != nil {
+			t.Fatalf("rasterize A: %v", err)
+		}
+		b, err := pb.Rasterize(pitch)
+		if err != nil {
+			t.Fatalf("rasterize B: %v", err)
+		}
+
+		inter := a.Intersect(b)
+		// The clip is contained in both operands.
+		if !inter.Subtract(a).Empty() || !inter.Subtract(b).Empty() {
+			t.Fatal("clip escaped an operand")
+		}
+		// Clipping partitions A: (A−B) ⊎ (A∩B) = A, and the parts are disjoint.
+		diff := a.Subtract(b)
+		if !diff.Union(inter).Equal(a) {
+			t.Fatal("clip partition of A violated")
+		}
+		if !diff.Intersect(inter).Empty() {
+			t.Fatal("clip parts overlap")
+		}
+		if diff.Area()+inter.Area() != a.Area() {
+			t.Fatal("clip areas do not sum to A")
+		}
+		// Rectangle clipping must agree with general clipping.
+		if !b.Empty() {
+			r := b.Bounds()
+			if !a.IntersectRect(r).Equal(a.Intersect(RegionFromRect(r))) {
+				t.Fatal("IntersectRect disagrees with Intersect")
+			}
+		}
+		// Clipping against itself and against empty are identities.
+		if !a.Intersect(a).Equal(a) {
+			t.Fatal("self-clip not identity")
+		}
+		if !a.Intersect(EmptyRegion()).Empty() {
+			t.Fatal("empty-clip not empty")
+		}
+	})
+}
+
 // FuzzRasterize exercises the polygon scanline fill with fuzzer-chosen
 // triangles, checking that the result stays within the bounding box and
 // roughly matches the analytic area.

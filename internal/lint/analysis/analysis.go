@@ -1,0 +1,56 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named check,
+// a Pass hands the analyzer one type-checked package, and diagnostics are
+// reported through the Pass. The x/tools module is intentionally not a
+// dependency — the repo builds offline — so sproutlint carries the small
+// slice of the API it actually needs. Analyzers written against this
+// package keep the upstream shape (Name/Doc/Run, Pass.Reportf) and could
+// be ported to x/tools mechanically if the dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass. Run is invoked once per
+// loaded package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by `sproutlint -help`.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between the driver and one analyzer run over one
+// package: the syntax trees, the type information, and the report sink.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed (with comments) source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries Types, Defs, Uses and Selections for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,136 @@
+// Package analysistest runs a lint analyzer over a GOPATH-style testdata
+// tree and checks its diagnostics against `// want` comment expectations,
+// mirroring the golang.org/x/tools/go/analysis/analysistest contract: a
+// comment of the form
+//
+//	code() // want `regexp` "another regexp"
+//
+// declares that the analyzer must report, on that line, one diagnostic
+// matching each listed pattern — and no others. Lines without a want
+// comment must produce no diagnostics. Both double-quoted and backquoted
+// patterns are accepted.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sprout/internal/lint/analysis"
+	"sprout/internal/lint/loader"
+)
+
+// wantRx extracts quoted or backquoted patterns from a want comment.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one want pattern at a file line.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each package path from dir/src, applies the analyzer, and
+// compares diagnostics with the packages' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	src, err := filepath.Abs(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	ld.ExtraRoots = []string{src}
+
+	for _, path := range pkgPaths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", path, err)
+		}
+
+		wants := map[string][]*expectation{} // "file:line" -> patterns
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					idx := strings.Index(text, "want ")
+					if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+						continue
+					}
+					pos := ld.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRx.FindAllString(text[idx+len("want "):], -1) {
+						pat, err := unquote(m)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", key, m, err)
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{rx: rx})
+					}
+				}
+			}
+		}
+
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, path, err)
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+		for _, d := range diags {
+			pos := ld.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			exps := wants[key]
+			match := false
+			for _, e := range exps {
+				if !e.matched && e.rx.MatchString(d.Message) {
+					e.matched = true
+					match = true
+					break
+				}
+			}
+			if !match {
+				t.Errorf("%s: unexpected diagnostic: %s", relKey(key, src), d.Message)
+			}
+		}
+		for key, exps := range wants {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s: expected diagnostic matching %q, got none", relKey(key, src), e.rx)
+				}
+			}
+		}
+	}
+}
+
+// unquote decodes a double-quoted or backquoted want token.
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	return strconv.Unquote(s)
+}
+
+// relKey shortens file:line keys to be testdata-relative for readability.
+func relKey(key, src string) string {
+	if rel, err := filepath.Rel(src, key); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return key
+}

@@ -1,0 +1,60 @@
+// Package a exercises the wrapper-delegation rule.
+package a
+
+import "context"
+
+// Route is the good shape: a context-free wrapper that only delegates.
+func Route(n int) (int, error) {
+	return RouteCtx(context.Background(), n)
+}
+
+// RouteCtx is the real implementation.
+func RouteCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n * 2, nil
+}
+
+// Solve re-implements logic instead of delegating: flagged.
+func Solve(n int) (int, error) { // want `context-free wrapper Solve must only delegate to SolveCtx`
+	if n < 0 {
+		return 0, nil
+	}
+	return SolveCtx(context.Background(), n)
+}
+
+// SolveCtx is the real implementation.
+func SolveCtx(ctx context.Context, n int) (int, error) {
+	return n + 1, nil
+}
+
+// Grow delegates but fabricates its own context instead of Background/TODO: flagged.
+func Grow(n int) int { // want `context-free wrapper Grow must only delegate to GrowCtx`
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	v, _ := GrowCtx(ctx, n)
+	return v
+}
+
+// GrowCtx is the real implementation.
+func GrowCtx(ctx context.Context, n int) (int, error) { return n, nil }
+
+// Standalone has no Ctx sibling, so the rule does not apply.
+func Standalone(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+// T carries the method variants.
+type T struct{}
+
+// Run delegates with context.TODO: accepted.
+func (t *T) Run(n int) error {
+	return t.RunCtx(context.TODO(), n)
+}
+
+// RunCtx is the real implementation.
+func (t *T) RunCtx(ctx context.Context, n int) error { return ctx.Err() }

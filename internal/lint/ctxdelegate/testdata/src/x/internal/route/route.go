@@ -1,0 +1,58 @@
+// Package route exercises the unbounded-loop rule (the package path ends
+// in internal/route, so the rule is in scope).
+package route
+
+import "context"
+
+// converge has a condition-only loop and no context: flagged. (It is
+// unexported so the wrapper-delegation rule stays out of the picture.)
+func converge(res float64) float64 {
+	for res > 1e-3 { // want `unbounded loop in converge`
+		res /= 2
+	}
+	return res
+}
+
+var _ = converge
+
+// Spin has an infinite loop and no context: flagged.
+func Spin(ch chan int) {
+	for { // want `unbounded loop in Spin`
+		if <-ch == 0 {
+			return
+		}
+	}
+}
+
+// ConvergeCtx is the accepted fix: the same loop with a context parameter.
+func ConvergeCtx(ctx context.Context, res float64) float64 {
+	for res > 1e-3 {
+		if ctx.Err() != nil {
+			return res
+		}
+		res /= 2
+	}
+	return res
+}
+
+// Drain is exempt: the condition is a structural slice drain.
+func Drain(queue []int) int {
+	sum := 0
+	for len(queue) > 0 {
+		sum += queue[0]
+		queue = queue[1:]
+	}
+	return sum
+}
+
+// Bounded three-clause and range loops are exempt.
+func Bounded(v []float64) float64 {
+	sum := 0.0
+	for i := 0; i < len(v); i++ {
+		sum += v[i]
+	}
+	for _, x := range v {
+		sum += x
+	}
+	return sum
+}

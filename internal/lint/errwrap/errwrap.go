@@ -1,0 +1,176 @@
+// Package errwrap enforces SPROUT's error-propagation conventions:
+//
+//  1. fmt.Errorf with an error-typed argument must wrap it with %w (so
+//     errors.Is/As can see through package boundaries) instead of
+//     flattening it into text with %v/%s.
+//
+//  2. Matching on error text — comparing x.Error() with ==/!= or feeding
+//     it to strings.Contains/HasPrefix/HasSuffix — is forbidden; use
+//     errors.Is/errors.As against the typed errors in errors.go.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"sprout/internal/lint/analysis"
+)
+
+// Analyzer is the errwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "errors must be wrapped with %w or typed errors, never flattened with %v or matched by string",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, node)
+				checkStringsMatch(pass, node)
+			case *ast.BinaryExpr:
+				checkCompare(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isError reports whether the expression has (or implements) type error.
+func isError(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	return t != nil && types.Implements(t, errorType)
+}
+
+// callee resolves a call to its package path and function name.
+func callee(pass *analysis.Pass, call *ast.CallExpr) (pkgPath, name string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// checkErrorf applies rule 1 to one call expression.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name := callee(pass, call)
+	if pkg != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := scanVerbs(format)
+	args := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(args) || v == 'w' {
+			continue
+		}
+		if isError(pass, args[i]) {
+			pass.Reportf(args[i].Pos(),
+				"error flattened with %%%c: wrap it with %%w (or return a typed error) so callers can errors.Is/As it", v)
+		}
+	}
+}
+
+// constString extracts a compile-time string constant.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// scanVerbs returns the verb letter for each argument-consuming printf
+// verb in format, in order. Flags, width and precision are skipped; `*`
+// width/precision consume an argument and are recorded as '*'.
+func scanVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' { // literal %%
+				break
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' {
+				i++
+				continue
+			}
+			verbs = append(verbs, rune(c))
+			break
+		}
+	}
+	return verbs
+}
+
+// isErrorCall reports whether e is a call of the Error() method on an
+// error value.
+func isErrorCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return isError(pass, sel.X)
+}
+
+// checkCompare applies rule 2 to ==/!= expressions.
+func checkCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isErrorCall(pass, b.X) || isErrorCall(pass, b.Y) {
+		pass.Reportf(b.OpPos,
+			"string comparison on err.Error(): use errors.Is/errors.As against a typed error instead")
+	}
+}
+
+// checkStringsMatch applies rule 2 to strings.* substring helpers.
+func checkStringsMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name := callee(pass, call)
+	if pkg != "strings" {
+		return
+	}
+	switch name {
+	case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorCall(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"strings.%s on err.Error(): use errors.Is/errors.As against a typed error instead", name)
+		}
+	}
+}

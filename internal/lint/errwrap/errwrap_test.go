@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"sprout/internal/lint/analysistest"
+	"sprout/internal/lint/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "a")
+}

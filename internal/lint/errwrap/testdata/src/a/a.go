@@ -1,0 +1,51 @@
+// Package a exercises the error-wrapping and string-matching rules.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBudget is a typed sentinel, the accepted alternative to text matching.
+var ErrBudget = errors.New("a: budget exhausted")
+
+// Flatten loses the cause: flagged on the error argument.
+func Flatten(name string, err error) error {
+	return fmt.Errorf("route %s failed: %v", name, err) // want `error flattened with %v`
+}
+
+// FlattenString loses the cause via %s: flagged.
+func FlattenString(err error) error {
+	return fmt.Errorf("solve: %s", err) // want `error flattened with %s`
+}
+
+// Wrap is the accepted fix: %w keeps the chain visible to errors.Is/As.
+func Wrap(name string, err error) error {
+	return fmt.Errorf("route %s failed: %w", name, err)
+}
+
+// NonErrorVerbs are fine: %v on non-error values is ordinary formatting.
+func NonErrorVerbs(name string, n int) error {
+	return fmt.Errorf("route %s: %v tiles", name, n)
+}
+
+// TextMatch compares error text: flagged.
+func TextMatch(err error) bool {
+	return err.Error() == "sparse: conjugate gradient did not converge" // want `string comparison on err.Error\(\)`
+}
+
+// TextContains greps error text: flagged.
+func TextContains(err error) bool {
+	return strings.Contains(err.Error(), "did not converge") // want `strings.Contains on err.Error\(\)`
+}
+
+// TypedMatch is the accepted fix: errors.Is against a sentinel.
+func TypedMatch(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+// PlainStrings keeps strings.Contains usable on non-error text.
+func PlainStrings(s string) bool {
+	return strings.Contains(s, "ok")
+}

@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"sprout/internal/lint/analysistest"
+	"sprout/internal/lint/faultpoint"
+)
+
+func TestFaultpoint(t *testing.T) {
+	analysistest.Run(t, "testdata", faultpoint.Analyzer, "a")
+}

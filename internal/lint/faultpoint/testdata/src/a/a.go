@@ -1,0 +1,31 @@
+// Package a exercises the canonical fault-injection site rule. It calls
+// into the real sprout/internal/faultinject package, so the analyzer
+// checks literals against the actual registry.
+package a
+
+import "sprout/internal/faultinject"
+
+// UseConstant is the preferred shape: the registered constant.
+func UseConstant() error {
+	return faultinject.Check(faultinject.SiteCG)
+}
+
+// UseRegisteredLiteral is accepted: the literal matches a registered site.
+func UseRegisteredLiteral() error {
+	return faultinject.Check("route.grow")
+}
+
+// Typo never fires at runtime: flagged.
+func Typo() error {
+	return faultinject.Check("sparse.gc") // want `"sparse.gc" is not a registered site`
+}
+
+// ArmTypo would arm a hook that no production check point reads: flagged.
+func ArmTypo() {
+	faultinject.Arm("route.gorw", 1, nil) // want `"route.gorw" is not a registered site`
+}
+
+// Dynamic site names defeat static checking: flagged.
+func Dynamic(site string) error {
+	return faultinject.Check(site) // want `site must be a compile-time string constant`
+}

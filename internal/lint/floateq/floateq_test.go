@@ -1,0 +1,16 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"sprout/internal/lint/analysistest"
+	"sprout/internal/lint/floateq"
+)
+
+func TestFloateqInScope(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "x/internal/sparse")
+}
+
+func TestFloateqOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "y")
+}

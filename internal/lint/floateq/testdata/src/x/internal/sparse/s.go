@@ -1,0 +1,51 @@
+// Package sparse exercises the float-equality rule inside a scoped
+// package path (ends in internal/sparse).
+package sparse
+
+// Tol is a named tolerance used by the accepted comparisons.
+const Tol = 1e-9
+
+// approxEq is the epsilon comparison this package's production code is
+// expected to use.
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= Tol
+}
+
+// Converged compares residuals exactly: flagged.
+func Converged(res, prev float64) bool {
+	return res == prev // want `exact floating-point ==`
+}
+
+// Changed compares exactly with !=: flagged.
+func Changed(a, b float64) bool {
+	return a != b // want `exact floating-point !=`
+}
+
+// ConvergedEps is the accepted fix.
+func ConvergedEps(res, prev float64) bool {
+	return approxEq(res, prev)
+}
+
+// ZeroChecks are exempt: comparisons against an exact constant zero are
+// IEEE-exact and idiomatic ("knob unset", "skip stored zero").
+func ZeroChecks(tol float64, vals []float64) int {
+	if tol == 0 {
+		tol = 1e-10
+	}
+	n := 0
+	for _, v := range vals {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IntCompares are out of the rule's jurisdiction entirely.
+func IntCompares(a, b int) bool {
+	return a == b
+}

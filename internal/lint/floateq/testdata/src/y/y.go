@@ -1,0 +1,8 @@
+// Package y is outside the scoped packages (geom/sparse/route): exact
+// float equality is not flagged here.
+package y
+
+// Same would be flagged in internal/sparse but is accepted here.
+func Same(a, b float64) bool {
+	return a == b
+}

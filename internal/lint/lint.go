@@ -1,0 +1,171 @@
+// Package lint wires the sproutlint analyzer suite together: the
+// analyzer registry, the package-loading driver, and the
+// //lint:ignore suppression mechanism.
+//
+// Suppression: a comment of the form
+//
+//	//lint:ignore analyzer1,analyzer2 reason text
+//
+// silences the named analyzers' diagnostics on the comment's line and on
+// the line directly below it (so the directive can trail the offending
+// expression or sit on its own line above it). The reason is mandatory —
+// a suppression without a recorded justification is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"sprout/internal/lint/analysis"
+	"sprout/internal/lint/ctxdelegate"
+	"sprout/internal/lint/errwrap"
+	"sprout/internal/lint/faultpoint"
+	"sprout/internal/lint/floateq"
+	"sprout/internal/lint/loader"
+	"sprout/internal/lint/mustcheck"
+)
+
+// Analyzers returns the full sproutlint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxdelegate.Analyzer,
+		errwrap.Analyzer,
+		faultpoint.Analyzer,
+		floateq.Analyzer,
+		mustcheck.Analyzer,
+	}
+}
+
+// Finding is one unsuppressed diagnostic.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("sproutlint" for driver
+	// findings such as malformed ignore directives).
+	Analyzer string
+	// Position locates the finding.
+	Position token.Position
+	// Message is the diagnostic text.
+	Message string
+}
+
+// String formats the finding the way compilers do, so editors can jump
+// to it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool
+	line      int
+}
+
+// Run loads the packages matched by patterns (resolved relative to the
+// module containing dir) and applies every analyzer, returning the
+// unsuppressed findings sorted by position.
+func Run(dir string, patterns []string) ([]Finding, error) {
+	ld, err := loader.New(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := ld.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, runPackage(ld, pkg)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// runPackage applies the whole suite to one package and filters
+// suppressed diagnostics.
+func runPackage(ld *loader.Loader, pkg *loader.Package) []Finding {
+	ignores, bad := collectIgnores(ld, pkg)
+	findings := bad
+	for _, a := range Analyzers() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := ld.Fset.Position(d.Pos)
+			if suppressed(ignores[pos.Filename], a.Name, pos.Line) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Position: ld.Fset.Position(pkg.Files[0].Pos()),
+				Message:  fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
+	return findings
+}
+
+// collectIgnores parses the //lint:ignore directives of every file in the
+// package. Malformed directives (no analyzer list or no reason) are
+// returned as findings.
+func collectIgnores(ld *loader.Loader, pkg *loader.Package) (map[string][]ignoreDirective, []Finding) {
+	ignores := map[string][]ignoreDirective{}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := ld.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "sproutlint",
+						Position: pos,
+						Message:  "malformed //lint:ignore: want `//lint:ignore analyzer[,analyzer] reason`",
+					})
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(fields[0], ",") {
+					names[n] = true
+				}
+				ignores[pos.Filename] = append(ignores[pos.Filename], ignoreDirective{analyzers: names, line: pos.Line})
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// suppressed reports whether an ignore directive covers the analyzer at
+// the line.
+func suppressed(dirs []ignoreDirective, analyzer string, line int) bool {
+	for _, d := range dirs {
+		if d.analyzers[analyzer] && (d.line == line || d.line == line-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sprout/internal/lint"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the whole module —
+// the same check CI's lint job performs — so `go test ./...` fails the
+// moment a convention regresses.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-module lint")
+	}
+	findings, err := lint.Run(".", []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSuppression builds a throwaway module with one real violation, one
+// suppressed violation, and one malformed directive, and checks the
+// driver's accounting.
+func TestSuppression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixture\n\ngo 1.22\n")
+	write("internal/sparse/s.go", `package sparse
+
+// Flagged compares floats exactly with no directive: reported.
+func Flagged(a, b float64) bool {
+	return a == b
+}
+
+// Silenced carries a justified directive: suppressed.
+func Silenced(a, b float64) bool {
+	//lint:ignore floateq fixture exercises suppression
+	return a == b
+}
+
+// Malformed has a directive without a reason: the directive itself is
+// reported and does not suppress.
+func Malformed(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+`)
+
+	findings, err := lint.Run(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	var floateqLines []int
+	malformed := 0
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "floateq":
+			floateqLines = append(floateqLines, f.Position.Line)
+		case f.Analyzer == "sproutlint" && strings.Contains(f.Message, "malformed"):
+			malformed++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if len(floateqLines) != 2 {
+		t.Errorf("want 2 floateq findings (Flagged + Malformed), got %d at lines %v", len(floateqLines), floateqLines)
+	}
+	if malformed != 1 {
+		t.Errorf("want 1 malformed-directive finding, got %d", malformed)
+	}
+}

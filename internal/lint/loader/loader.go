@@ -1,0 +1,245 @@
+// Package loader type-checks Go packages from source without any
+// dependency outside the standard library. It is the package-loading
+// substrate for sproutlint: module-local import paths resolve to
+// directories inside the module, extra roots let analyzer tests load
+// GOPATH-style testdata trees, and everything else (the standard library)
+// is delegated to the source importer built into go/importer.
+//
+// The loader deliberately analyzes production files only (no _test.go):
+// the invariants sproutlint enforces are about shipped code, and test
+// files are free to poke at failure paths in ways the analyzers forbid.
+package loader
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path the package was loaded as.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// Loader loads and caches type-checked packages. It implements
+// types.ImporterFrom so the type-checker can pull in dependencies
+// recursively through the same instance.
+type Loader struct {
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+	// ModulePath and ModuleDir map module-local import paths to
+	// directories (ModulePath "sprout" + path "sprout/internal/geom" →
+	// ModuleDir/internal/geom).
+	ModulePath string
+	ModuleDir  string
+	// ExtraRoots are GOPATH-style source roots (dir/<importpath>/*.go)
+	// consulted before the standard library; analyzer tests point one at
+	// their testdata/src tree.
+	ExtraRoots []string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// New returns a Loader rooted at the module containing dir. The module
+// path is read from go.mod.
+func New(dir string) (*Loader, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("loader: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		std:        std,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and module path.
+func findModule(dir string) (string, string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("loader: no go.mod above %s", abs)
+		}
+	}
+}
+
+// Expand resolves go package patterns ("./...") to import paths using the
+// go tool, in module-dir context. Only module-local packages are returned.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-e", "-f", "{{.ImportPath}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list %v: %w\n%s", patterns, err, errb.String())
+	}
+	var paths []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if line == l.ModulePath || strings.HasPrefix(line, l.ModulePath+"/") {
+			paths = append(paths, line)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Load type-checks the package with the given import path (and,
+// transitively, its dependencies) and returns it.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.resolveDir(path)
+	if !ok {
+		return nil, fmt.Errorf("loader: cannot resolve %q to a directory", path)
+	}
+	return l.loadDir(dir, path)
+}
+
+// resolveDir maps an import path to a source directory via the module
+// mapping and the extra roots. Standard-library paths are not resolved
+// here; they go through the source importer.
+func (l *Loader) resolveDir(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	for _, root := range l.ExtraRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks one directory as the package at path.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+	}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-check %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths and extra
+// roots load through this Loader; everything else (the standard library,
+// including its vendored dependencies) is delegated to the source
+// importer, which shares our FileSet.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if dir, ok := l.resolveDir(path); ok {
+		pkg, err := l.loadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,12 @@
+package mustcheck_test
+
+import (
+	"testing"
+
+	"sprout/internal/lint/analysistest"
+	"sprout/internal/lint/mustcheck"
+)
+
+func TestMustcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", mustcheck.Analyzer, "a")
+}

@@ -1,0 +1,45 @@
+// Package a exercises the discarded-result rule against the real
+// sprout/internal/geom and sprout/internal/sparse kernels.
+package a
+
+import (
+	"sprout/internal/geom"
+	"sprout/internal/sparse"
+)
+
+// DropClip discards a pure region operation: flagged.
+func DropClip(a, b geom.Region) {
+	a.Union(b) // want `result of geom.Union discarded`
+}
+
+// BlankClip hides the result behind the blank identifier: flagged.
+func BlankClip(a, b geom.Region) {
+	_ = a.Intersect(b) // want `result of geom.Intersect assigned to the blank identifier`
+}
+
+// UseClip is the accepted fix: the result flows onward.
+func UseClip(a, b geom.Region) geom.Region {
+	return a.Subtract(b)
+}
+
+// DropSolve throws away both the solution and the convergence error: flagged.
+func DropSolve(m sparse.Matrix, rhs []float64) {
+	sparse.CG(m, rhs, nil, sparse.CGOptions{}) // want `result of sparse.CG discarded`
+}
+
+// BlankSolve discards every result explicitly: flagged.
+func BlankSolve(m sparse.Matrix, rhs []float64) {
+	_, _, _ = sparse.CG(m, rhs, nil, sparse.CGOptions{}) // want `result of sparse.CG assigned to the blank identifier`
+}
+
+// UseSolve is the accepted fix: solution and error are consumed.
+func UseSolve(m sparse.Matrix, rhs []float64) ([]float64, error) {
+	x, _, err := sparse.CG(m, rhs, nil, sparse.CGOptions{})
+	return x, err
+}
+
+// MutatorsAreFine: functions outside the must-use table keep working as
+// statements.
+func MutatorsAreFine(b *sparse.Builder) {
+	b.Add(0, 0, 1.0)
+}

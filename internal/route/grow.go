@@ -48,6 +48,7 @@ func (tg *TileGraph) growByCurrent(members []bool, nodeCurrent []float64, k int)
 		cands = append(cands, cand{c, score})
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		//lint:ignore floateq sort comparators need exact comparison: an epsilon tie-break is not transitive and breaks strict weak ordering
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score
 		}

@@ -25,6 +25,7 @@ func (tg *TileGraph) removeLowCurrent(members []bool, nodeCurrent []float64, k i
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		//lint:ignore floateq sort comparators need exact comparison: an epsilon tie-break is not transitive and breaks strict weak ordering
 		if cands[i].cur != cands[j].cur {
 			return cands[i].cur < cands[j].cur
 		}

@@ -106,6 +106,7 @@ func BuildTileGraph(avail geom.Region, terms []Terminal, dx, dy int64) (*TileGra
 	}
 	var find func(int) int
 	find = func(i int) int {
+		//lint:ignore ctxdelegate union-find path halving: the walk shortens the chain every step, bounded by tree depth
 		for parent[i] != i {
 			parent[i] = parent[parent[i]]
 			i = parent[i]

@@ -67,6 +67,7 @@ func NewIC0(a *CSR) (*IC0, error) {
 			sum := ic.val[k]
 			cStart, cEnd := ic.rowPtr[c], ic.rowPtr[c+1]
 			i, j := rowStart, cStart
+			//lint:ignore ctxdelegate two-pointer merge over two finite CSR rows: each step advances i or j, so the loop is bounded by the row lengths
 			for i < k && j < cEnd-1 { // exclude c's diagonal (last entry)
 				ci, cj := ic.col[i], ic.col[j]
 				switch {
