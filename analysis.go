@@ -1,11 +1,13 @@
 package sprout
 
 import (
+	"context"
 	"fmt"
 
 	"sprout/internal/board"
 	"sprout/internal/extract"
 	"sprout/internal/geom"
+	"sprout/internal/obs"
 	"sprout/internal/route"
 	"sprout/internal/thermal"
 )
@@ -21,10 +23,17 @@ type DCResult struct {
 	MinLoadVoltage float64
 }
 
-// RailDC solves the rail's DC operating point (PMIC sources the net
-// current, every other terminal group sinks its weighted share) and the
-// resulting thermal map. vSupply scales the reported minimum voltage.
+// RailDC solves the DC operating point without tracing support; see
+// RailDCCtx.
 func RailDC(b *board.Board, layer int, rail RailResult, vSupply float64) (*DCResult, error) {
+	return RailDCCtx(context.Background(), b, layer, rail, vSupply)
+}
+
+// RailDCCtx solves the rail's DC operating point (PMIC sources the net
+// current, every other terminal group sinks its weighted share) and the
+// resulting thermal map. vSupply scales the reported minimum voltage. The
+// DC solve and the thermal simulation each run under a tracing span.
+func RailDCCtx(ctx context.Context, b *board.Board, layer int, rail RailResult, vSupply float64) (*DCResult, error) {
 	if rail.Route == nil {
 		if rail.Diag.Err != nil {
 			return nil, fmt.Errorf("sprout: rail %s has no route (failed rail: %w)", rail.Name, rail.Diag.Err)
@@ -63,11 +72,17 @@ func RailDC(b *board.Board, layer int, rail RailResult, vSupply float64) (*DCRes
 		HeightUM:  b.Stackup.DistanceToPlaneUM(layer),
 	}
 	shape := rail.Route.Shape.Union(termShapes(source, loads))
+	_, dcSp := obs.StartSpan(ctx, "DCOperate", obs.A("net", net.Name))
 	op, err := extract.DCOperate(shape, *source, loads, totalA, exOpt)
+	dcSp.Fail(err)
+	dcSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("sprout: net %s DC: %w", net.Name, err)
 	}
+	_, thSp := obs.StartSpan(ctx, "Thermal", obs.A("net", net.Name))
 	tm, err := thermal.Simulate(op, exOpt.SheetOhms, thermal.Options{CopperUM: layerInfo.CopperUM})
+	thSp.Fail(err)
+	thSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("sprout: net %s thermal: %w", net.Name, err)
 	}

@@ -22,6 +22,8 @@
 package sprout_test
 
 import (
+	"context"
+	"os"
 	"testing"
 
 	"sprout"
@@ -32,6 +34,7 @@ import (
 	"sprout/internal/extract"
 	"sprout/internal/geom"
 	"sprout/internal/gerber"
+	"sprout/internal/obs"
 	"sprout/internal/route"
 	"sprout/internal/sparse"
 	"sprout/internal/thermal"
@@ -150,10 +153,24 @@ func BenchmarkNodeCurrents(b *testing.B) {
 	for i := range members {
 		members[i] = true
 	}
+	// SPROUT_TRACE=path runs the benchmark with tracing enabled and writes
+	// a Chrome trace-event file; CI's bench-smoke job uses it. Unset, the
+	// benchmark measures the no-op tracer path.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if path := os.Getenv("SPROUT_TRACE"); path != "" {
+		tracer = obs.New()
+		ctx = obs.WithTracer(ctx, tracer)
+		b.Cleanup(func() {
+			if err := tracer.WriteChromeTraceFile(path); err != nil {
+				b.Error(err)
+			}
+		})
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tg.NodeCurrents(members, nil); err != nil {
+		if _, err := tg.NodeCurrentsCtx(ctx, members, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,12 +1,15 @@
 // Command sprout synthesizes the power-network copper of a board: either
 // one of the built-in case studies or a JSON board document (see
 // internal/boardio for the schema). It prints a per-rail impedance report
-// and optionally writes layout SVGs and the routed-board JSON.
+// and optionally writes layout SVGs, the routed-board JSON, a Chrome
+// trace-event file (-trace, loadable in Perfetto / chrome://tracing), and
+// a machine-readable run report (-report).
 //
 // Usage:
 //
 //	sprout -case tworail|sixrail|threerail [-manual] [-out dir]
 //	sprout -board my_board.json [-manual] [-out dir]
+//	sprout -case tworail -trace trace.json -report report.json -v
 //	sprout -case tworail -dump-board board.json   (export the case as JSON)
 package main
 
@@ -14,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -26,10 +30,21 @@ import (
 	"sprout/internal/drc"
 	"sprout/internal/extract"
 	"sprout/internal/gerber"
+	"sprout/internal/obs"
 	"sprout/internal/report"
 	"sprout/internal/route"
 	"sprout/internal/svgout"
 )
+
+// cli bundles the run-wide observability state: the structured logger
+// every message goes through (replacing ad-hoc stderr prints, so -v/-q
+// filter consistently) and the tracer feeding -trace/-report.
+type cli struct {
+	log    *slog.Logger
+	tracer *obs.Tracer
+	trace  string // Chrome trace output path ("" = disabled)
+	report string // run report output path ("" = disabled)
+}
 
 func main() {
 	caseName := flag.String("case", "", "built-in case study: tworail, sixrail, threerail")
@@ -41,7 +56,33 @@ func main() {
 	gerberPath := flag.String("gerber", "", "write the routed copper as an RS-274X Gerber layer file")
 	multilayer := flag.Bool("multilayer", false, "route across all routable layers with via planning (Appendix Alg. 6)")
 	timeout := flag.Duration("timeout", 0, "abort synthesis after this duration, e.g. 90s or 5m (0 = no limit)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto)")
+	reportPath := flag.String("report", "", "write the machine-readable run report as JSON")
+	verbose := flag.Bool("v", false, "verbose: log per-stage spans and debug detail")
+	quiet := flag.Bool("q", false, "quiet: log errors only")
 	flag.Parse()
+
+	verbosity := obs.Normal
+	switch {
+	case *quiet:
+		verbosity = obs.Quiet
+	case *verbose:
+		verbosity = obs.Verbose
+	}
+	c := &cli{
+		log:    obs.NewLogger(os.Stderr, verbosity),
+		trace:  *tracePath,
+		report: *reportPath,
+	}
+	// A tracer is only worth its overhead when some sink consumes it: the
+	// Chrome trace file, the report's metrics section, or -v span logs.
+	if c.trace != "" || c.report != "" || *verbose {
+		topts := []obs.Option{}
+		if *verbose {
+			topts = append(topts, obs.WithLogger(c.log))
+		}
+		c.tracer = obs.New(topts...)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -49,17 +90,51 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *caseName, *boardPath, *withManual, *outDir, *dumpBoard, *runDRC, *gerberPath, *multilayer); err != nil {
+	ctx = obs.WithTracer(ctx, c.tracer)
+	err := run(ctx, c, *caseName, *boardPath, *withManual, *outDir, *dumpBoard, *runDRC, *gerberPath, *multilayer)
+	if werr := c.writeTrace(); werr != nil && err == nil {
+		err = werr
+	}
+	if err != nil {
 		if ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "sprout: timed out after %v: %v\n", *timeout, err)
+			c.log.Error("timed out", "after", *timeout, "err", err)
 		} else {
-			fmt.Fprintln(os.Stderr, "sprout:", err)
+			c.log.Error("run failed", "err", err)
 		}
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, caseName, boardPath string, withManual bool, outDir, dumpBoard string, runDRC bool, gerberPath string, multilayer bool) error {
+// writeTrace flushes the Chrome trace file, if one was requested. It runs
+// even when the run failed: a trace of a failed run is the most useful
+// kind.
+func (c *cli) writeTrace() error {
+	if c.trace == "" || c.tracer == nil {
+		return nil
+	}
+	if err := c.tracer.WriteChromeTraceFile(c.trace); err != nil {
+		return err
+	}
+	c.log.Info("wrote trace", "path", c.trace)
+	return nil
+}
+
+// writeReport writes the machine-readable run report, if requested.
+func (c *cli) writeReport(rep *obs.RunReport) error {
+	if c.report == "" {
+		return nil
+	}
+	if rep == nil {
+		return fmt.Errorf("no run report produced")
+	}
+	if err := rep.WriteJSONFile(c.report); err != nil {
+		return err
+	}
+	c.log.Info("wrote report", "path", c.report)
+	return nil
+}
+
+func run(ctx context.Context, c *cli, caseName, boardPath string, withManual bool, outDir, dumpBoard string, runDRC bool, gerberPath string, multilayer bool) error {
 	var (
 		b       *board.Board
 		layer   int
@@ -99,12 +174,12 @@ func run(ctx context.Context, caseName, boardPath string, withManual bool, outDi
 		if err := boardio.Encode(f, b, layer, budgets); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", dumpBoard)
+		c.log.Info("wrote board document", "path", dumpBoard)
 		return nil
 	}
 
 	if multilayer {
-		return runMultilayer(ctx, b, budgets, cfg, outDir)
+		return runMultilayer(ctx, c, b, budgets, cfg, outDir)
 	}
 
 	start := time.Now()
@@ -122,7 +197,16 @@ func run(ctx context.Context, caseName, boardPath string, withManual bool, outDi
 		if rail.Diag.Degraded {
 			state = "degraded to seed-only route"
 		}
-		fmt.Fprintf(os.Stderr, "sprout: rail %s %s: %v\n", rail.Name, state, rail.Diag.Err)
+		c.log.Warn("rail did not fully route", "rail", rail.Name, "state", state, "err", rail.Diag.Err)
+	}
+	for _, rail := range res.Rails {
+		if rail.Solve.Escalated() {
+			c.log.Info("solver escalated past its primary rung",
+				"rail", rail.Name,
+				"escalations", rail.Solve.Escalations,
+				"solves", rail.Solve.Solves,
+				"worst_residual", rail.Solve.WorstResidual)
+		}
 	}
 
 	cols := []string{"Net", "budget", "area", "R (mΩ)", "L @25MHz (pH)", "max J (A/unit)"}
@@ -157,6 +241,9 @@ func run(ctx context.Context, caseName, boardPath string, withManual bool, outDi
 		t.AddRow(row...)
 	}
 	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := c.writeReport(res.Report); err != nil {
 		return err
 	}
 
@@ -198,7 +285,7 @@ func run(ctx context.Context, caseName, boardPath string, withManual bool, outDi
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s\n", gerberPath)
+		c.log.Info("wrote gerber", "path", gerberPath)
 	}
 
 	if outDir != "" {
@@ -208,14 +295,14 @@ func run(ctx context.Context, caseName, boardPath string, withManual bool, outDi
 		if err := renderLayout(res, filepath.Join(outDir, "layout.svg")); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s\n", filepath.Join(outDir, "layout.svg"))
+		c.log.Info("wrote layout", "path", filepath.Join(outDir, "layout.svg"))
 	}
 	return nil
 }
 
 // runMultilayer routes every net across all routable layers and reports
 // per-layer copper, placed vias, and the via parasitic estimates.
-func runMultilayer(ctx context.Context, b *board.Board, budgets map[board.NetID]int64, cfg route.Config, outDir string) error {
+func runMultilayer(ctx context.Context, c *cli, b *board.Board, budgets map[board.NetID]int64, cfg route.Config, outDir string) error {
 	start := time.Now()
 	res, err := sprout.RouteBoardMultilayerCtx(ctx, b, sprout.MLRouteOptions{
 		Budgets: budgets,
@@ -251,30 +338,33 @@ func runMultilayer(ctx context.Context, b *board.Board, budgets map[board.NetID]
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
+	if err := c.writeReport(res.Report); err != nil {
+		return err
+	}
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
 		}
 		palette := []string{"#c02020", "#2060c0", "#20a040", "#c08020"}
 		for _, layer := range b.RoutableLayers() {
-			c := svgout.New(b.Outline)
-			c.Rect(b.Outline, svgout.Style{Fill: "#f8f8f4", Stroke: "#333", StrokeWidth: 1})
+			cv := svgout.New(b.Outline)
+			cv.Rect(b.Outline, svgout.Style{Fill: "#f8f8f4", Stroke: "#333", StrokeWidth: 1})
 			for _, o := range b.Obstacle {
 				if o.Layer == layer {
-					c.Region(o.Shape, svgout.Style{Fill: "#444", Hatch: o.Net == board.NetNone})
+					cv.Region(o.Shape, svgout.Style{Fill: "#444", Hatch: o.Net == board.NetNone})
 				}
 			}
 			for i, nr := range res.Nets {
-				c.Region(nr.Copper[layer], svgout.Style{Fill: palette[i%len(palette)], Opacity: 0.85})
+				cv.Region(nr.Copper[layer], svgout.Style{Fill: palette[i%len(palette)], Opacity: 0.85})
 				for _, v := range nr.Vias {
-					c.Circle(v.At, 2, svgout.Style{Fill: "#000"})
+					cv.Circle(v.At, 2, svgout.Style{Fill: "#000"})
 				}
 			}
 			path := filepath.Join(outDir, fmt.Sprintf("layer%d.svg", layer))
-			if err := c.WriteFile(path); err != nil {
+			if err := cv.WriteFile(path); err != nil {
 				return err
 			}
-			fmt.Println("wrote", path)
+			c.log.Info("wrote layout", "path", path)
 		}
 	}
 	return nil

@@ -22,10 +22,13 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"sprout/internal/faultinject"
 	"sprout/internal/geom"
+	"sprout/internal/obs"
 	"sprout/internal/route"
 )
 
@@ -80,23 +83,40 @@ type Report struct {
 	Nodes int
 }
 
-// Extract computes the impedance report for a copper shape connecting the
-// given terminals.
+// Extract computes the impedance report without cancellation or tracing
+// support; see ExtractCtx.
 func Extract(shape geom.Region, terms []route.Terminal, opt Options) (*Report, error) {
+	return ExtractCtx(context.Background(), shape, terms, opt)
+}
+
+// ExtractCtx computes the impedance report for a copper shape connecting
+// the given terminals. The fine re-tiling and the per-pair nodal solves
+// run under an "Extract" tracing span; context cancellation aborts the
+// solves.
+func ExtractCtx(ctx context.Context, shape geom.Region, terms []route.Terminal, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	if shape.Empty() {
 		return nil, fmt.Errorf("extract: empty shape")
 	}
-	tg, err := route.BuildTileGraph(shape, terms, opt.Pitch, opt.Pitch)
-	if err != nil {
+	sctx, sp := obs.StartSpan(ctx, "Extract", obs.A("pitch", opt.Pitch))
+	defer sp.End()
+	if err := faultinject.Check(faultinject.SiteExtract); err != nil {
+		sp.Fail(err)
 		return nil, fmt.Errorf("extract: %w", err)
 	}
+	tg, err := route.BuildTileGraph(shape, terms, opt.Pitch, opt.Pitch)
+	if err != nil {
+		sp.Fail(err)
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	sp.SetAttrs(obs.A("nodes", tg.G.N()))
 	members := make([]bool, tg.G.N())
 	for i := range members {
 		members[i] = true
 	}
-	volts, pairs, weights, err := tg.PairVoltages(members)
+	volts, pairs, weights, err := tg.PairVoltagesCtx(sctx, members)
 	if err != nil {
+		sp.Fail(err)
 		return nil, fmt.Errorf("extract: %w", err)
 	}
 

@@ -26,6 +26,9 @@ const (
 	SiteGrow = "route.grow"
 	// SiteRefine fires once per SmartRefine iteration of the pipeline.
 	SiteRefine = "route.refine"
+	// SiteExtract fires once per impedance extraction, before the fine
+	// re-tiling.
+	SiteExtract = "extract.extract"
 )
 
 // registry is the canonical site table: every check point the production
@@ -35,9 +38,10 @@ const (
 // firing) and by the sproutlint faultpoint analyzer, which flags string
 // literals passed to this package that are not in the table.
 var registry = map[string]string{
-	SiteCG:     "sparse: CG solver entry, before the first iteration",
-	SiteGrow:   "route: one SmartGrow iteration of the pipeline",
-	SiteRefine: "route: one SmartRefine iteration of the pipeline",
+	SiteCG:      "sparse: CG solver entry, before the first iteration",
+	SiteGrow:    "route: one SmartGrow iteration of the pipeline",
+	SiteRefine:  "route: one SmartRefine iteration of the pipeline",
+	SiteExtract: "extract: impedance extraction entry, before re-tiling",
 }
 
 // Sites returns the canonical site names in sorted order.

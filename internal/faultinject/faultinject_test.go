@@ -98,7 +98,7 @@ func TestConcurrentChecks(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{SiteGrow, SiteRefine, SiteCG} // sorted: route.grow, route.refine, sparse.cg
+	want := []string{SiteExtract, SiteGrow, SiteRefine, SiteCG} // sorted: extract.extract, route.grow, route.refine, sparse.cg
 	got := Sites()
 	if len(got) != len(want) {
 		t.Fatalf("Sites() = %v, want %v", got, want)

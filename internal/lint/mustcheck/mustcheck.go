@@ -29,7 +29,7 @@ var Analyzer = &analysis.Analyzer{
 var mustUse = map[string]map[string]bool{
 	"internal/sparse": {
 		"CG": true, "CGCtx": true,
-		"Solve": true, "SolveCtx": true,
+		"Solve": true, "SolveCtx": true, "SolveAttemptsCtx": true,
 		"EffectiveResistance": true,
 	},
 	"internal/geom": {

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array flavor understood by Perfetto and chrome://tracing). Field order
+// matters only for golden-test stability; encoding/json emits fields in
+// declaration order and sorts map keys, so the output is deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// usec converts a tracer offset to trace microseconds.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// attrArgs converts span/event attrs to a Chrome args map.
+func attrArgs(attrs []Attr, errMsg string) map[string]any {
+	if len(attrs) == 0 && errMsg == "" {
+		return nil
+	}
+	args := make(map[string]any, len(attrs)+1)
+	for _, a := range attrs {
+		args[a.Key] = a.Val
+	}
+	if errMsg != "" {
+		args["error"] = errMsg
+	}
+	return args
+}
+
+// WriteChromeTrace exports every completed span, instant event and
+// counter as Chrome trace-event JSON. The file loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing; each WithTrack track
+// (one per rail) renders as its own named thread row. Writing on a nil
+// or disabled tracer emits an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "sprout"},
+	}}
+
+	var spans []SpanRecord
+	var instants []EventRecord
+	var tracks []string
+	if t != nil {
+		t.mu.Lock()
+		spans = append(spans, t.spans...)
+		instants = append(instants, t.events...)
+		tracks = append(tracks, t.tracks...)
+		t.mu.Unlock()
+	}
+
+	tidOf := func(track string) int64 {
+		for i, name := range tracks {
+			if name == track {
+				return int64(i + 1)
+			}
+		}
+		return 0
+	}
+	events = append(events, chromeEvent{
+		Name: "thread_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "main"},
+	})
+	for i, name := range tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: int64(i + 1),
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Spans are recorded in end order; emit them in start order so the
+	// nesting reads top-down in the viewer and the output is stable.
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "stage",
+			Ph:   "X",
+			TS:   usec(s.Start),
+			Dur:  usec(s.End - s.Start),
+			PID:  chromePID,
+			TID:  tidOf(s.Track),
+			Args: attrArgs(s.Attrs, s.Err),
+		})
+	}
+	for _, e := range instants {
+		events = append(events, chromeEvent{
+			Name: e.Name,
+			Cat:  "iter",
+			Ph:   "i",
+			TS:   usec(e.TS),
+			PID:  chromePID,
+			TID:  tidOf(e.Track),
+			S:    "t",
+			Args: attrArgs(e.Attrs, ""),
+		})
+	}
+
+	// Counters land as one final "C" sample each so Perfetto draws a
+	// counter track with the end-of-run totals.
+	counters, _ := t.MetricsSnapshot()
+	var names []string
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var endTS float64
+	for _, s := range spans {
+		if ts := usec(s.End); ts > endTS {
+			endTS = ts
+		}
+	}
+	for _, name := range names {
+		events = append(events, chromeEvent{
+			Name: name, Cat: "metric", Ph: "C", TS: endTS, PID: chromePID, TID: 0,
+			Args: map[string]any{"value": counters[name]},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTraceFile writes the Chrome trace to the named file.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace file: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: trace file: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the Chrome-trace golden file")
+
+// goldenTracer replays a fixed two-rail pipeline against the deterministic
+// clock so the exported trace is byte-stable.
+func goldenTracer() *Tracer {
+	tr := New(WithClock(fakeClock()))
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, root := StartSpan(ctx, "RouteBoard", A("board", "golden"))
+	for _, rail := range []string{"VDD1", "VDD2"} {
+		tctx := WithTrack(rctx, "rail:"+rail)
+		sctx, railSp := StartSpan(tctx, "Rail", A("net", rail))
+		_, seed := StartSpan(sctx, "Seed", A("nodes", 42))
+		seed.End()
+		Event(sctx, "iter.grow", A("nodes", 50), A("area", 1200))
+		_, grow := StartSpan(sctx, "Grow")
+		if rail == "VDD2" {
+			grow.Fail(errors.New("grow exceeded budget"))
+		}
+		grow.End()
+		railSp.End()
+	}
+	root.End()
+	tr.Counter("solver.solves").Add(7)
+	tr.Counter("solver.iterations").Add(131)
+	tr.Histogram("solver.cg_iterations").Observe(19)
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrometrace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run ChromeTraceGolden -update`)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	tidName := map[float64]string{}
+	phases := map[string]int{}
+	var failedArgs map[string]any
+	for _, e := range trace.TraceEvents {
+		ph := e["ph"].(string)
+		phases[ph]++
+		if ph == "M" && e["name"] == "thread_name" {
+			tidName[e["tid"].(float64)] = e["args"].(map[string]any)["name"].(string)
+		}
+		if ph == "X" {
+			if _, ok := e["dur"]; !ok {
+				t.Fatalf("complete span %v lacks dur", e["name"])
+			}
+		}
+		if e["name"] == "Grow" {
+			if args, ok := e["args"].(map[string]any); ok {
+				failedArgs = args
+			}
+		}
+	}
+	if phases["X"] != 7 { // RouteBoard + 2×(Rail, Seed, Grow)
+		t.Fatalf("span events = %d, want 7", phases["X"])
+	}
+	if phases["i"] != 2 || phases["C"] != 2 {
+		t.Fatalf("instants/counters = %d/%d, want 2/2", phases["i"], phases["C"])
+	}
+	want := map[float64]string{0: "main", 1: "rail:VDD1", 2: "rail:VDD2"}
+	for tid, name := range want {
+		if tidName[tid] != name {
+			t.Fatalf("tid %v named %q, want %q", tid, tidName[tid], name)
+		}
+	}
+	if failedArgs == nil || failedArgs["error"] != "grow exceeded budget" {
+		t.Fatalf("failed span args = %v, want error annotation", failedArgs)
+	}
+}
+
+func TestChromeTraceOnNilTracer(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	// Only the process/thread metadata; no spans.
+	for _, e := range trace.TraceEvents {
+		if e["ph"] != "M" {
+			t.Fatalf("nil tracer exported a non-metadata event: %v", e)
+		}
+	}
+}

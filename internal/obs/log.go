@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Verbosity selects the structured-log level for a run; commands map
+// their -v/-q flags onto it so every subcommand filters consistently.
+type Verbosity int
+
+const (
+	// Quiet logs errors only (-q).
+	Quiet Verbosity = iota - 1
+	// Normal logs progress at Info level (the default).
+	Normal
+	// Verbose adds Debug-level detail such as span completions (-v).
+	Verbose
+)
+
+// Level converts the verbosity to a slog level.
+func (v Verbosity) Level() slog.Level {
+	switch {
+	case v <= Quiet:
+		return slog.LevelError
+	case v >= Verbose:
+		return slog.LevelDebug
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds the structured text logger used by the commands: a
+// slog.Logger writing key=value lines to w, filtered by the verbosity.
+func NewLogger(w io.Writer, v Verbosity) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: v.Level()}))
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically growing int64 metric, safe for concurrent
+// use. The nil counter (returned by a nil/disabled tracer) is a safe
+// no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// histBounds are the fixed histogram bucket upper bounds (powers of four
+// cover both CG iteration counts and Laplacian nnz ranges); the final
+// implicit bucket is +Inf.
+var histBounds = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+
+// Histogram tracks the distribution of a float64 metric with fixed
+// power-of-four buckets plus count/sum/min/max, safe for concurrent use.
+// The nil histogram is a safe no-op.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  []int64 // len(histBounds)+1, last = overflow
+}
+
+// HistogramSummary is the JSON-friendly snapshot of a Histogram.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Bounds lists the bucket upper limits; Buckets[i] counts samples at
+	// or below Bounds[i] (and above the previous bound), the final extra
+	// entry counts the overflow above the last bound.
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Counter returns the named counter, creating it on first use. A nil or
+// disabled tracer returns nil, whose Add is a no-op.
+func (t *Tracer) Counter(name string) *Counter {
+	if !t.Enabled() {
+		return nil
+	}
+	t.metricsMu.Lock()
+	defer t.metricsMu.Unlock()
+	if t.counters == nil {
+		t.counters = map[string]*Counter{}
+	}
+	c, ok := t.counters[name]
+	if !ok {
+		c = &Counter{}
+		t.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// or disabled tracer returns nil, whose Observe is a no-op.
+func (t *Tracer) Histogram(name string) *Histogram {
+	if !t.Enabled() {
+		return nil
+	}
+	t.metricsMu.Lock()
+	defer t.metricsMu.Unlock()
+	if t.hists == nil {
+		t.hists = map[string]*Histogram{}
+	}
+	h, ok := t.hists[name]
+	if !ok {
+		h = &Histogram{buckets: make([]int64, len(histBounds)+1)}
+		t.hists[name] = h
+	}
+	return h
+}
+
+// Add increments the counter (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Observe records one sample (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(histBounds, v)
+	h.buckets[i]++
+}
+
+// Summary snapshots the histogram (zero value on nil).
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return HistogramSummary{}
+	}
+	return HistogramSummary{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Mean:    h.sum / float64(h.count),
+		Bounds:  append([]float64(nil), histBounds...),
+		Buckets: append([]int64(nil), h.buckets...),
+	}
+}
+
+// MetricsSnapshot returns the current counter values and histogram
+// summaries by name (nil maps on a nil/disabled tracer).
+func (t *Tracer) MetricsSnapshot() (map[string]int64, map[string]HistogramSummary) {
+	if !t.Enabled() {
+		return nil, nil
+	}
+	t.metricsMu.Lock()
+	defer t.metricsMu.Unlock()
+	var counters map[string]int64
+	if len(t.counters) > 0 {
+		counters = make(map[string]int64, len(t.counters))
+		for name, c := range t.counters {
+			counters[name] = c.Value()
+		}
+	}
+	var hists map[string]HistogramSummary
+	if len(t.hists) > 0 {
+		hists = make(map[string]HistogramSummary, len(t.hists))
+		for name, h := range t.hists {
+			hists[name] = h.Summary()
+		}
+	}
+	return counters, hists
+}

@@ -1,0 +1,328 @@
+// Package obs is SPROUT's dependency-free observability layer: nestable
+// tracing spans threaded through the pipeline via context.Context,
+// counters and histograms for solver telemetry, a Chrome trace-event
+// exporter (chrometrace.go), a structured slog sink (log.go), and the
+// machine-readable RunReport (report.go) embedded in routing results.
+//
+// The paper notes that node-current evaluation dominates SPROUT's runtime
+// (§II-H: ~90%); this package exists so that cost can be measured per
+// rail and per pipeline stage before it is optimized.
+//
+// Everything is nil-safe and gated on one atomic load: a context without
+// a tracer (or with a disabled one) makes StartSpan, Event, Counter.Add
+// and Histogram.Observe near-zero-cost no-ops, so instrumentation is safe
+// to leave on hot paths (verified by BenchmarkDisabled* in this package
+// and the BenchmarkNodeCurrents before/after numbers).
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+)
+
+// Attr is one key/value annotation on a span or event. Values should be
+// JSON-encodable (strings, numbers, bools).
+type Attr struct {
+	Key string
+	Val any
+}
+
+// A builds an Attr.
+func A(key string, val any) Attr { return Attr{Key: key, Val: val} }
+
+// SpanRecord is one completed span as stored by the tracer. Records are
+// appended when a span ends; nested spans therefore precede their parent
+// in the record list, and the ordering is deterministic for a
+// deterministic pipeline.
+type SpanRecord struct {
+	// ID is the span id, assigned in start order from 1.
+	ID uint64
+	// Parent is the id of the enclosing span (0 for a root span).
+	Parent uint64
+	// Track is the logical track name assigned with WithTrack ("" for the
+	// main track). The Chrome exporter maps each track to its own thread
+	// row.
+	Track string
+	// Name is the span name (a paper stage such as "Seed" or "Grow").
+	Name string
+	// Start and End are offsets from the tracer epoch.
+	Start, End time.Duration
+	// Attrs holds the span annotations.
+	Attrs []Attr
+	// Err is the failure recorded with Fail ("" for a clean span).
+	Err string
+}
+
+// EventRecord is one instant event (Event), e.g. a single grow iteration.
+type EventRecord struct {
+	Track string
+	Name  string
+	TS    time.Duration
+	Attrs []Attr
+}
+
+// Tracer collects spans, events, counters and histograms for one run.
+// The zero value and the nil tracer are disabled; New returns an enabled
+// one. A Tracer is safe for concurrent use.
+type Tracer struct {
+	enabled atomic.Bool
+	logger  *slog.Logger
+
+	// now returns the current offset from the tracer epoch. Replaceable
+	// for deterministic tests (WithClock).
+	now func() time.Duration
+
+	mu       sync.Mutex
+	nextSpan uint64
+	spans    []SpanRecord
+	events   []EventRecord
+	trackIDs map[string]int64 // track name -> tid (main track "" = 0)
+	tracks   []string         // tid-1 -> name, in first-use order
+
+	metricsMu sync.Mutex
+	counters  map[string]*Counter
+	hists     map[string]*Histogram
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithClock replaces the tracer clock — the function returning the
+// offset from the tracer epoch — for deterministic tests.
+func WithClock(now func() time.Duration) Option {
+	return func(t *Tracer) { t.now = now }
+}
+
+// WithLogger attaches a structured logger; span completions are logged at
+// Debug level and span failures at Warn level.
+func WithLogger(l *slog.Logger) Option {
+	return func(t *Tracer) { t.logger = l }
+}
+
+// New returns an enabled tracer whose epoch is the call time.
+func New(opts ...Option) *Tracer {
+	epoch := time.Now()
+	t := &Tracer{now: func() time.Duration { return time.Since(epoch) }}
+	for _, o := range opts {
+		o(t)
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether the tracer records anything. Nil-safe: a nil
+// tracer is disabled.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled flips the recording gate (no-op on a nil tracer).
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// SpanRecords returns a snapshot of the completed spans in end order.
+func (t *Tracer) SpanRecords() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// EventRecords returns a snapshot of the recorded instant events.
+func (t *Tracer) EventRecords() []EventRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]EventRecord(nil), t.events...)
+}
+
+// trackID interns a track name, assigning tids 1,2,... ("" is tid 0).
+func (t *Tracer) trackID(name string) int64 {
+	if name == "" {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.trackIDs == nil {
+		t.trackIDs = map[string]int64{}
+	}
+	id, ok := t.trackIDs[name]
+	if !ok {
+		id = int64(len(t.tracks) + 1)
+		t.trackIDs[name] = id
+		t.tracks = append(t.tracks, name)
+	}
+	return id
+}
+
+// trackName resolves a tid back to its name.
+func (t *Tracer) trackName(tid int64) string {
+	if tid == 0 {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(tid) <= len(t.tracks) {
+		return t.tracks[tid-1]
+	}
+	return ""
+}
+
+// ctxKey keys the context values carried by this package.
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	trackKey
+)
+
+// WithTracer attaches a tracer to the context; the whole pipeline reads
+// it back with FromContext.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// FromContext returns the context's tracer, or nil (a disabled tracer)
+// when none is attached.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// Enabled reports whether the context carries an enabled tracer — the
+// single check instrumentation sites use to skip non-trivial attribute
+// computation.
+func Enabled(ctx context.Context) bool { return FromContext(ctx).Enabled() }
+
+// WithTrack assigns the logical track (e.g. "rail:VDD1") that subsequent
+// spans and events on this context are recorded under. A no-op when
+// tracing is disabled.
+func WithTrack(ctx context.Context, name string) context.Context {
+	t := FromContext(ctx)
+	if !t.Enabled() {
+		return ctx
+	}
+	return context.WithValue(ctx, trackKey, t.trackID(name))
+}
+
+// Span is one in-flight span. The nil span (returned by StartSpan when
+// tracing is disabled) is a safe no-op for every method.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	tid    int64
+	name   string
+	start  time.Duration
+	attrs  []Attr
+	err    string
+}
+
+// StartSpan opens a span named after a pipeline stage. The returned
+// context carries the span so children nest under it; when tracing is
+// disabled the context is returned unchanged and the span is nil.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if !t.Enabled() {
+		return ctx, nil
+	}
+	s := &Span{t: t, name: name, start: t.now()}
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
+		s.parent = parent.id
+		s.tid = parent.tid
+	}
+	if tid, ok := ctx.Value(trackKey).(int64); ok {
+		s.tid = tid
+	}
+	t.mu.Lock()
+	t.nextSpan++
+	s.id = t.nextSpan
+	t.mu.Unlock()
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttrs appends annotations to the span (no-op on nil).
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// Fail records the failure that ended the span. Nil-safe on both the
+// span and the error, so `sp.Fail(err)` needs no guard at call sites.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.err = err.Error()
+}
+
+// End closes the span and appends its record to the tracer (no-op on
+// nil). End must be called exactly once, from the goroutine that started
+// the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.now()
+	track := s.t.trackName(s.tid)
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Track:  track,
+		Name:   s.name,
+		Start:  s.start,
+		End:    end,
+		Attrs:  s.attrs,
+		Err:    s.err,
+	})
+	s.t.mu.Unlock()
+	if l := s.t.logger; l != nil {
+		if s.err != "" {
+			l.Warn("span failed", "span", s.name, "dur", end-s.start, "err", s.err)
+		} else {
+			l.Debug("span", "span", s.name, "dur", end-s.start)
+		}
+	}
+}
+
+// Event records an instant event (e.g. one grow iteration) on the
+// context's current track. A no-op when tracing is disabled.
+func Event(ctx context.Context, name string, attrs ...Attr) {
+	t := FromContext(ctx)
+	if !t.Enabled() {
+		return
+	}
+	var tid int64
+	if sp, ok := ctx.Value(spanKey).(*Span); ok && sp != nil {
+		tid = sp.tid
+	}
+	if v, ok := ctx.Value(trackKey).(int64); ok {
+		tid = v
+	}
+	rec := EventRecord{Track: t.trackName(tid), Name: name, TS: t.now()}
+	if len(attrs) > 0 {
+		rec.Attrs = append(rec.Attrs, attrs...)
+	}
+	t.mu.Lock()
+	t.events = append(t.events, rec)
+	t.mu.Unlock()
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic tracer clock ticking 1ms per call.
+func fakeClock() func() time.Duration {
+	var t time.Duration
+	return func() time.Duration {
+		t += time.Millisecond
+		return t
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must be disabled")
+	}
+	tr.SetEnabled(true) // must not panic
+	if tr.SpanRecords() != nil || tr.EventRecords() != nil {
+		t.Fatal("nil tracer must have no records")
+	}
+	if c, h := tr.MetricsSnapshot(); c != nil || h != nil {
+		t.Fatal("nil tracer must have no metrics")
+	}
+	if tr.Counter("x") != nil || tr.Histogram("x") != nil {
+		t.Fatal("nil tracer must hand out nil metrics")
+	}
+}
+
+func TestNilSpanAndMetricsAreNoOps(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("bare context must carry no tracer")
+	}
+	if Enabled(ctx) {
+		t.Fatal("bare context must be disabled")
+	}
+	sctx, sp := StartSpan(ctx, "Seed")
+	if sp != nil {
+		t.Fatal("disabled StartSpan must return a nil span")
+	}
+	if sctx != ctx {
+		t.Fatal("disabled StartSpan must return the context unchanged")
+	}
+	sp.SetAttrs(A("k", 1))
+	sp.Fail(errors.New("boom"))
+	sp.End()
+	Event(ctx, "iter.grow", A("nodes", 3))
+	if got := WithTrack(ctx, "rail:VDD"); got != ctx {
+		t.Fatal("disabled WithTrack must return the context unchanged")
+	}
+
+	var c *Counter
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must stay zero")
+	}
+	var h *Histogram
+	h.Observe(4)
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+}
+
+func TestSpanNestingAndSiblings(t *testing.T) {
+	tr := New(WithClock(fakeClock()))
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, root := StartSpan(ctx, "RouteBoard")
+	c1ctx, child1 := StartSpan(rctx, "Seed")
+	_, grand := StartSpan(c1ctx, "Solve")
+	grand.End()
+	child1.End()
+	// Sibling spans must branch from the parent's context, not a sibling's.
+	_, child2 := StartSpan(rctx, "Grow")
+	child2.End()
+	root.End()
+
+	recs := tr.SpanRecords()
+	if len(recs) != 4 {
+		t.Fatalf("got %d spans, want 4", len(recs))
+	}
+	// Records append in end order: inner spans precede their parent.
+	wantNames := []string{"Solve", "Seed", "Grow", "RouteBoard"}
+	byName := map[string]SpanRecord{}
+	for i, r := range recs {
+		if r.Name != wantNames[i] {
+			t.Fatalf("record %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+		byName[r.Name] = r
+	}
+	rootRec := byName["RouteBoard"]
+	if rootRec.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", rootRec.Parent)
+	}
+	if byName["Seed"].Parent != rootRec.ID || byName["Grow"].Parent != rootRec.ID {
+		t.Fatal("stage spans must nest under the root span")
+	}
+	if byName["Solve"].Parent != byName["Seed"].ID {
+		t.Fatal("grandchild must nest under its direct parent")
+	}
+	for _, r := range recs {
+		if r.End <= r.Start {
+			t.Fatalf("span %s has non-positive duration [%v, %v]", r.Name, r.Start, r.End)
+		}
+	}
+}
+
+func TestSpanOrderIsDeterministic(t *testing.T) {
+	run := func() []SpanRecord {
+		tr := New(WithClock(fakeClock()))
+		ctx := WithTracer(context.Background(), tr)
+		rctx, root := StartSpan(ctx, "RouteBoard")
+		for _, stage := range []string{"Seed", "Grow", "Refine"} {
+			_, sp := StartSpan(rctx, stage)
+			sp.End()
+		}
+		root.End()
+		return tr.SpanRecords()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].ID != b[i].ID || a[i].Parent != b[i].Parent ||
+			a[i].Start != b[i].Start || a[i].End != b[i].End {
+			t.Fatalf("record %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWithTrackAssignsSpansAndEvents(t *testing.T) {
+	tr := New(WithClock(fakeClock()))
+	ctx := WithTracer(context.Background(), tr)
+	v1 := WithTrack(ctx, "rail:VDD1")
+	v2 := WithTrack(ctx, "rail:VDD2")
+
+	_, s1 := StartSpan(v1, "Rail")
+	Event(v1, "iter.grow", A("nodes", 10))
+	s1.End()
+	_, s2 := StartSpan(v2, "Rail")
+	s2.End()
+	_, m := StartSpan(ctx, "RouteBoard")
+	m.End()
+
+	recs := tr.SpanRecords()
+	tracks := map[string]string{}
+	for _, r := range recs {
+		tracks[r.Track] = r.Name
+	}
+	if tracks["rail:VDD1"] != "Rail" || tracks["rail:VDD2"] != "Rail" || tracks[""] != "RouteBoard" {
+		t.Fatalf("track assignment wrong: %v", tracks)
+	}
+	evs := tr.EventRecords()
+	if len(evs) != 1 || evs[0].Track != "rail:VDD1" || evs[0].Name != "iter.grow" {
+		t.Fatalf("event = %+v, want iter.grow on rail:VDD1", evs)
+	}
+	// Spans started under a track context inherit the track through nesting.
+	rctx, parent := StartSpan(v1, "Grow")
+	_, child := StartSpan(rctx, "Solve")
+	child.End()
+	parent.End()
+	recs = tr.SpanRecords()
+	last := recs[len(recs)-2] // child ends first
+	if last.Name != "Solve" || last.Track != "rail:VDD1" {
+		t.Fatalf("nested span track = %+v, want Solve on rail:VDD1", last)
+	}
+}
+
+func TestSpanFailRecordsError(t *testing.T) {
+	tr := New(WithClock(fakeClock()))
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "Grow")
+	sp.Fail(nil) // must not mark the span failed
+	sp.Fail(errors.New("grow exceeded budget"))
+	sp.End()
+	recs := tr.SpanRecords()
+	if recs[0].Err != "grow exceeded budget" {
+		t.Fatalf("span err = %q", recs[0].Err)
+	}
+}
+
+func TestSetEnabledGatesRecording(t *testing.T) {
+	tr := New(WithClock(fakeClock()))
+	tr.SetEnabled(false)
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "Seed")
+	sp.End()
+	Event(ctx, "iter.grow")
+	tr.Counter("n").Add(1)
+	if len(tr.SpanRecords()) != 0 || len(tr.EventRecords()) != 0 {
+		t.Fatal("disabled tracer recorded")
+	}
+	if c, _ := tr.MetricsSnapshot(); c != nil {
+		t.Fatal("disabled tracer collected metrics")
+	}
+	tr.SetEnabled(true)
+	_, sp = StartSpan(ctx, "Seed")
+	sp.End()
+	if len(tr.SpanRecords()) != 1 {
+		t.Fatal("re-enabled tracer must record")
+	}
+}
+
+func TestCountersAndHistogramsConcurrent(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Counter("solver.iterations").Add(2)
+				tr.Histogram("solver.cg_iterations").Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	counters, hists := tr.MetricsSnapshot()
+	if counters["solver.iterations"] != 1600 {
+		t.Fatalf("counter = %d, want 1600", counters["solver.iterations"])
+	}
+	h := hists["solver.cg_iterations"]
+	if h.Count != 800 {
+		t.Fatalf("histogram count = %d, want 800", h.Count)
+	}
+	if h.Min != 0 || h.Max != 19 {
+		t.Fatalf("histogram min/max = %v/%v, want 0/19", h.Min, h.Max)
+	}
+	var n int64
+	for _, b := range h.Buckets {
+		n += b
+	}
+	if n != h.Count {
+		t.Fatalf("bucket sum %d != count %d", n, h.Count)
+	}
+}
+
+func TestVerbosityLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, Quiet)
+	log.Info("progress")
+	log.Error("failure")
+	out := buf.String()
+	if strings.Contains(out, "progress") {
+		t.Fatal("quiet logger leaked Info")
+	}
+	if !strings.Contains(out, "failure") {
+		t.Fatal("quiet logger dropped Error")
+	}
+
+	buf.Reset()
+	log = NewLogger(&buf, Normal)
+	log.Debug("span detail")
+	log.Info("progress")
+	out = buf.String()
+	if strings.Contains(out, "span detail") || !strings.Contains(out, "progress") {
+		t.Fatalf("normal logger filtered wrong: %q", out)
+	}
+
+	buf.Reset()
+	log = NewLogger(&buf, Verbose)
+	log.Debug("span detail")
+	if !strings.Contains(buf.String(), "span detail") {
+		t.Fatal("verbose logger dropped Debug")
+	}
+}
+
+func TestWithLoggerEmitsSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(WithClock(fakeClock()), WithLogger(NewLogger(&buf, Verbose)))
+	ctx := WithTracer(context.Background(), tr)
+	_, ok := StartSpan(ctx, "Seed")
+	ok.End()
+	_, bad := StartSpan(ctx, "Grow")
+	bad.Fail(errors.New("boom"))
+	bad.End()
+	out := buf.String()
+	if !strings.Contains(out, "span=Seed") {
+		t.Fatalf("missing clean-span log: %q", out)
+	}
+	if !strings.Contains(out, "span=Grow") || !strings.Contains(out, "level=WARN") {
+		t.Fatalf("missing failed-span warn log: %q", out)
+	}
+}

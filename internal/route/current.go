@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"sprout/internal/graph"
+	"sprout/internal/obs"
 	"sprout/internal/sparse"
 )
 
@@ -26,6 +27,9 @@ type Metrics struct {
 	// PairResistance lists the effective resistance of each terminal pair
 	// in pair order (i<j lexicographic).
 	PairResistance []float64
+	// Solve summarizes the solver-ladder telemetry of this evaluation's
+	// pair solves.
+	Solve sparse.SolveStats
 }
 
 // warmCache keeps per-pair voltage solutions keyed by full-graph node id so
@@ -33,6 +37,10 @@ type Metrics struct {
 // nearly identical systems.
 type warmCache struct {
 	pairVolts [][]float64 // pair index -> full-size voltages
+	// stats accumulates solver-ladder telemetry across every solve that
+	// used this cache — the whole pipeline threads one warmCache through
+	// its stages, so this is the rail's solver summary.
+	stats sparse.SolveStats
 }
 
 // pairList enumerates the 2-subsets of the terminal list (paper Alg. 3
@@ -68,7 +76,8 @@ type pairSolution struct {
 	weights []float64   // normalized injection weights
 	volts   [][]float64 // per pair, full-size voltages (0 outside subgraph)
 	sub     *graph.Graph
-	orig    []int // sub node -> full node id
+	orig    []int             // sub node -> full node id
+	stats   sparse.SolveStats // ladder telemetry of this call's solves
 }
 
 // solvePairs performs the nodal analysis of paper Eq. 3 for every terminal
@@ -132,6 +141,45 @@ func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmC
 	sol := &pairSolution{pairs: pairs, weights: weights, sub: sub, orig: orig}
 	sol.volts = make([][]float64, len(pairs))
 
+	// Each worker deposits its ladder trace in its own slot; the traces
+	// are folded after the pool drains, in pair order, so the aggregated
+	// stats stay deterministic regardless of solve interleaving.
+	atts := make([][]sparse.RungAttempt, len(pairs))
+	finish := func() {
+		var st sparse.SolveStats
+		for _, a := range atts {
+			st.Record(a)
+		}
+		sol.stats = st
+		if warm != nil {
+			warm.stats.Merge(st)
+		}
+		tr := obs.FromContext(ctx)
+		if !tr.Enabled() {
+			return
+		}
+		tr.Counter("solver.solves").Add(int64(st.Solves))
+		tr.Counter("solver.iterations").Add(int64(st.Iterations))
+		tr.Counter("solver.escalations").Add(int64(st.Escalations))
+		tr.Counter("solver.failures").Add(int64(st.Failures))
+		tr.Counter("solver.precond." + lap.Preconditioner()).Add(int64(st.Solves))
+		for rung, n := range st.Rungs {
+			tr.Counter("solver.rung." + rung).Add(int64(n))
+		}
+		tr.Histogram("laplacian.nnz").Observe(float64(lap.NNZ()))
+		for _, as := range atts {
+			for _, a := range as {
+				tr.Histogram("solver.cg_iterations").Observe(float64(a.Iterations))
+				if a.Residual > 0 {
+					// Residuals live at 1e-12..1e-6; bucket their
+					// negated decimal exponent so the fixed bounds
+					// resolve them.
+					tr.Histogram("solver.residual_neglog10").Observe(-math.Log10(a.Residual))
+				}
+			}
+		}
+	}
+
 	// Pair injections are independent linear solves; run them concurrently
 	// (the paper's runtime was measured on an 8-core machine). Each worker
 	// writes only its own slot, so the result stays deterministic.
@@ -149,7 +197,8 @@ func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmC
 				x0[ci] = warm.pairVolts[pi][orig[si]]
 			}
 		}
-		v, err := lap.SolveCtx(ctx, b, x0)
+		v, attempts, err := lap.SolveAttemptsCtx(ctx, b, x0)
+		atts[pi] = attempts
 		if err != nil {
 			return fmt.Errorf("route: pair %d solve: %w", pi, err)
 		}
@@ -164,7 +213,9 @@ func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmC
 		return nil
 	}
 	if len(pairs) == 1 {
-		if err := solveOne(0); err != nil {
+		err := solveOne(0)
+		finish()
+		if err != nil {
 			return nil, err
 		}
 		return sol, nil
@@ -200,6 +251,7 @@ func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmC
 		}()
 	}
 	wg.Wait()
+	finish()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -242,15 +294,21 @@ func (tg *TileGraph) NodeCurrentsCtx(ctx context.Context, members []bool, warm *
 			nodeCur[id] += w * sum
 		}
 	}
-	return &Metrics{NodeCurrent: nodeCur, Resistance: totalRes, PairResistance: pairRes}, nil
+	return &Metrics{NodeCurrent: nodeCur, Resistance: totalRes, PairResistance: pairRes, Solve: sol.stats}, nil
 }
 
-// PairVoltages exposes the per-pair nodal voltages over a member mask for
-// downstream extraction: volts[p][nodeID] is the potential of the node
+// PairVoltages exposes the per-pair nodal voltages without cancellation
+// support; see PairVoltagesCtx.
+func (tg *TileGraph) PairVoltages(members []bool) (volts [][]float64, pairs [][2]int, weights []float64, err error) {
+	return tg.PairVoltagesCtx(context.Background(), members)
+}
+
+// PairVoltagesCtx exposes the per-pair nodal voltages over a member mask
+// for downstream extraction: volts[p][nodeID] is the potential of the node
 // under a unit current injected into pair p. pairs hold terminal indices
 // and weights the normalized injection weights.
-func (tg *TileGraph) PairVoltages(members []bool) (volts [][]float64, pairs [][2]int, weights []float64, err error) {
-	sol, err := tg.solvePairs(context.Background(), members, nil)
+func (tg *TileGraph) PairVoltagesCtx(ctx context.Context, members []bool) (volts [][]float64, pairs [][2]int, weights []float64, err error) {
+	sol, err := tg.solvePairs(ctx, members, nil)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -3,6 +3,8 @@ package route
 import (
 	"context"
 	"sort"
+
+	"sprout/internal/obs"
 )
 
 // SmartGrow grows the subgraph without cancellation support; see
@@ -23,7 +25,9 @@ func (tg *TileGraph) SmartGrowCtx(ctx context.Context, members []bool, k int, wa
 	if err != nil {
 		return nil, err
 	}
-	return tg.growByCurrent(members, m.NodeCurrent, k), nil
+	added := tg.growByCurrent(members, m.NodeCurrent, k)
+	obs.Event(ctx, "grow.batch", obs.A("requested", k), obs.A("added", len(added)))
+	return added, nil
 }
 
 // growByCurrent scores every boundary candidate by the summed node current

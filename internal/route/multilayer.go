@@ -7,6 +7,7 @@ import (
 
 	"sprout/internal/geom"
 	"sprout/internal/graph"
+	"sprout/internal/obs"
 )
 
 // LayerSpace is one layer's available space for a net.
@@ -43,13 +44,34 @@ type ViaPlan struct {
 	PerLayer map[int][]Terminal
 }
 
-// PlanMultilayer determines the least-cost layer assignment for a net whose
+// PlanMultilayer plans the layer assignment without cancellation or
+// tracing support; see PlanMultilayerCtx.
+func PlanMultilayer(spaces []LayerSpace, terms []MLTerminal, viaPitch int64, viaCost float64) (*ViaPlan, error) {
+	return PlanMultilayerCtx(context.Background(), spaces, terms, viaPitch, viaCost)
+}
+
+// PlanMultilayerCtx runs the multilayer planning stage (paper Algorithm 6)
+// under its tracing span, annotated with the resulting via count.
+func PlanMultilayerCtx(ctx context.Context, spaces []LayerSpace, terms []MLTerminal, viaPitch int64, viaCost float64) (*ViaPlan, error) {
+	_, sp, done := stageCtx(ctx, "MultilayerPlan",
+		obs.A("layers", len(spaces)), obs.A("terminals", len(terms)))
+	defer done()
+	plan, err := planMultilayer(spaces, terms, viaPitch, viaCost)
+	if err != nil {
+		sp.Fail(err)
+		return nil, err
+	}
+	sp.SetAttrs(obs.A("vias", len(plan.Vias)))
+	return plan, nil
+}
+
+// planMultilayer determines the least-cost layer assignment for a net whose
 // terminals cannot be connected within a single layer (paper Algorithm 6).
 // It tiles every layer at the via pitch, builds the 3-D graph with
 // via edges weighted viaCost (vs. 1 per lateral step), finds shortest
 // paths between all terminal pairs, and converts the layer changes into
 // vias. Each via becomes a terminal on both layers it joins.
-func PlanMultilayer(spaces []LayerSpace, terms []MLTerminal, viaPitch int64, viaCost float64) (*ViaPlan, error) {
+func planMultilayer(spaces []LayerSpace, terms []MLTerminal, viaPitch int64, viaCost float64) (*ViaPlan, error) {
 	if len(spaces) == 0 {
 		return nil, fmt.Errorf("route: multilayer needs at least one layer space")
 	}

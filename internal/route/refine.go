@@ -3,6 +3,8 @@ package route
 import (
 	"context"
 	"sort"
+
+	"sprout/internal/obs"
 )
 
 // removeLowCurrent removes up to k non-terminal member nodes in ascending
@@ -97,6 +99,7 @@ func (tg *TileGraph) SmartRefineCtx(ctx context.Context, members []bool, k int, 
 		return 0, err
 	}
 	removed := tg.removeLowCurrent(members, m.NodeCurrent, k)
+	obs.Event(ctx, "refine.swap", obs.A("requested", k), obs.A("swapped", len(removed)))
 	if len(removed) == 0 {
 		return m.Resistance, nil
 	}
@@ -147,6 +150,7 @@ func (tg *TileGraph) ErodeCtx(ctx context.Context, members []bool, areaMax int64
 			k = batch
 		}
 		removed := tg.removeLowCurrent(members, m.NodeCurrent, k)
+		obs.Event(ctx, "erode.batch", obs.A("requested", k), obs.A("removed", len(removed)))
 		if len(removed) == 0 {
 			return nil // nothing removable without disconnecting terminals
 		}

@@ -4,11 +4,29 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"time"
 
 	"sprout/internal/faultinject"
 	"sprout/internal/geom"
+	"sprout/internal/obs"
+	"sprout/internal/sparse"
 )
+
+// stageCtx opens a tracing span for one pipeline stage and tags the
+// goroutine's pprof labels with the stage name, so CPU profiles attribute
+// solver time to paper stages (the labels are inherited by the solver
+// worker pool). The returned done func ends the span and restores the
+// previous labels; it must run on the goroutine that called stageCtx.
+func stageCtx(ctx context.Context, stage string, attrs ...obs.Attr) (context.Context, *obs.Span, func()) {
+	lctx := pprof.WithLabels(ctx, pprof.Labels("stage", stage))
+	pprof.SetGoroutineLabels(lctx)
+	sctx, sp := obs.StartSpan(lctx, stage, attrs...)
+	return sctx, sp, func() {
+		sp.End()
+		pprof.SetGoroutineLabels(ctx)
+	}
+}
 
 // Config tunes the SPROUT pipeline. Zero values select the documented
 // defaults.
@@ -98,6 +116,9 @@ type Result struct {
 	PairResistance []float64
 	// Trace records every pipeline iteration.
 	Trace []IterRecord
+	// Solve summarizes the solver-fallback-ladder telemetry across every
+	// nodal analysis the pipeline ran — successful solves included.
+	Solve sparse.SolveStats
 }
 
 // Route runs the full pipeline without cancellation support; see RouteCtx.
@@ -115,11 +136,28 @@ func RouteCtx(ctx context.Context, avail geom.Region, terms []Terminal, cfg Conf
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	tg, err := BuildTileGraph(avail, terms, cfg.DX, cfg.DY)
+	tg, err := spaceToGraph(ctx, avail, terms, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return tg.RouteCtx(ctx, cfg)
+}
+
+// spaceToGraph runs the tiling stage (paper Alg. 1) under its tracing
+// span, annotated with the resulting graph size.
+func spaceToGraph(ctx context.Context, avail geom.Region, terms []Terminal, cfg Config) (*TileGraph, error) {
+	_, sp, done := stageCtx(ctx, "SpaceToGraph")
+	defer done()
+	tg, err := BuildTileGraph(avail, terms, cfg.DX, cfg.DY)
+	if err != nil {
+		sp.Fail(err)
+		return nil, err
+	}
+	sp.SetAttrs(
+		obs.A("nodes", tg.G.N()),
+		obs.A("edges", tg.G.M()),
+		obs.A("terminals", len(tg.Terminals)))
+	return tg, nil
 }
 
 // SeedOnly runs only the tiling and seed stages (paper Algorithm 2) — the
@@ -132,24 +170,31 @@ func SeedOnly(ctx context.Context, avail geom.Region, terms []Terminal, cfg Conf
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	tg, err := BuildTileGraph(avail, terms, cfg.DX, cfg.DY)
+	tg, err := spaceToGraph(ctx, avail, terms, cfg)
 	if err != nil {
 		return nil, err
 	}
+	sctx, sp, done := stageCtx(ctx, "Seed", obs.A("degraded", true))
+	defer done()
 	members, err := tg.Seed()
 	if err != nil {
+		sp.Fail(err)
 		return nil, err
 	}
+	warm := &warmCache{}
 	res := &Result{
 		Shape:      tg.Union(members),
 		Members:    members,
 		Graph:      tg,
 		Resistance: math.NaN(),
 	}
-	if m, merr := tg.NodeCurrentsCtx(ctx, members, nil); merr == nil {
+	if m, merr := tg.NodeCurrentsCtx(sctx, members, warm); merr == nil {
 		res.Resistance = m.Resistance
 		res.PairResistance = m.PairResistance
+	} else {
+		sp.Fail(merr)
 	}
+	res.Solve = warm.stats
 	res.Trace = []IterRecord{{
 		Stage:      "seed",
 		Nodes:      MemberCount(members),
@@ -183,18 +228,48 @@ func (tg *TileGraph) RouteCtx(ctx context.Context, cfg Config) (*Result, error) 
 			Resistance: res,
 			Elapsed:    time.Since(start),
 		})
+		if obs.Enabled(ctx) {
+			attrs := []obs.Attr{
+				obs.A("nodes", MemberCount(members)),
+				obs.A("area", tg.MembersArea(members)),
+			}
+			if !math.IsNaN(res) {
+				attrs = append(attrs, obs.A("resistance", res))
+			}
+			obs.Event(ctx, "iter."+stage, attrs...)
+		}
+	}
+
+	// runStage runs one pipeline stage under its span + pprof labels and
+	// records a failure on the span before propagating it.
+	runStage := func(name string, fn func(sctx context.Context, sp *obs.Span) error) error {
+		sctx, sp, done := stageCtx(ctx, name)
+		err := fn(sctx, sp)
+		sp.Fail(err)
+		done()
+		return err
 	}
 
 	// Stage 1: seed (Alg. 2).
-	members, err := tg.Seed()
-	if err != nil {
+	var members []bool
+	if err := runStage("Seed", func(sctx context.Context, sp *obs.Span) error {
+		var err error
+		members, err = tg.Seed()
+		if err != nil {
+			return err
+		}
+		m, err := tg.NodeCurrentsCtx(sctx, members, warm)
+		if err != nil {
+			return fmt.Errorf("route: seed metrics: %w", err)
+		}
+		sp.SetAttrs(
+			obs.A("nodes", MemberCount(members)),
+			obs.A("area", tg.MembersArea(members)))
+		record("seed", members, m.Resistance)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	m, err := tg.NodeCurrentsCtx(ctx, members, warm)
-	if err != nil {
-		return nil, fmt.Errorf("route: seed metrics: %w", err)
-	}
-	record("seed", members, m.Resistance)
 
 	areaMax := cfg.AreaMax
 	if areaMax <= 0 {
@@ -224,46 +299,53 @@ func (tg *TileGraph) RouteCtx(ctx context.Context, cfg Config) (*Result, error) 
 		erodeBatch = growNodes
 	}
 
-	// Stage 2: SmartGrow until the area budget is reached (Alg. 4, §II-D).
-	// Each iteration is a cancellation point (and a fault-injection site so
-	// tests can abort mid-grow deterministically).
-	for tg.MembersArea(members) < areaMax {
-		if err := faultinject.Check(faultinject.SiteGrow); err != nil {
-			return nil, fmt.Errorf("route: grow: %w", err)
+	// Stage 2: SmartGrow until the area budget is reached (Alg. 4, §II-D),
+	// then trim any overshoot so the budget constraint of Eq. 5 holds from
+	// here on. Each iteration is a cancellation point (and a
+	// fault-injection site so tests can abort mid-grow deterministically).
+	if err := runStage("Grow", func(sctx context.Context, sp *obs.Span) error {
+		grows := 0
+		for tg.MembersArea(members) < areaMax {
+			if err := faultinject.Check(faultinject.SiteGrow); err != nil {
+				return fmt.Errorf("route: grow: %w", err)
+			}
+			if err := sctx.Err(); err != nil {
+				return err
+			}
+			added, err := tg.SmartGrowCtx(sctx, members, growNodes, warm)
+			if err != nil {
+				return fmt.Errorf("route: grow: %w", err)
+			}
+			if len(added) == 0 {
+				break // space exhausted before the budget
+			}
+			mm, err := tg.NodeCurrentsCtx(sctx, members, warm)
+			if err != nil {
+				return fmt.Errorf("route: grow metrics: %w", err)
+			}
+			grows++
+			record("grow", members, mm.Resistance)
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		sp.SetAttrs(obs.A("iterations", grows), obs.A("area", tg.MembersArea(members)))
+		// The last grow batch may overshoot A_max; erode the excess.
+		if err := tg.ErodeCtx(sctx, members, areaMax, erodeBatch, warm); err != nil {
+			return fmt.Errorf("route: trim: %w", err)
 		}
-		added, err := tg.SmartGrowCtx(ctx, members, growNodes, warm)
-		if err != nil {
-			return nil, fmt.Errorf("route: grow: %w", err)
-		}
-		if len(added) == 0 {
-			break // space exhausted before the budget
-		}
-		mm, err := tg.NodeCurrentsCtx(ctx, members, warm)
-		if err != nil {
-			return nil, fmt.Errorf("route: grow metrics: %w", err)
-		}
-		record("grow", members, mm.Resistance)
-	}
-
-	// The last grow batch may overshoot A_max; erode the excess before
-	// refining so the budget constraint of Eq. 5 holds from here on.
-	if err := tg.ErodeCtx(ctx, members, areaMax, erodeBatch, warm); err != nil {
-		return nil, fmt.Errorf("route: trim: %w", err)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Stage 3: SmartRefine until improvement is negligible (Alg. 5, §II-E).
-	refinePass := func(prev float64) (float64, error) {
+	refinePass := func(rctx context.Context, prev float64) (float64, error) {
 		for it := 0; it < cfg.RefineIters; it++ {
 			if err := faultinject.Check(faultinject.SiteRefine); err != nil {
 				return 0, err
 			}
-			if err := ctx.Err(); err != nil {
+			if err := rctx.Err(); err != nil {
 				return 0, err
 			}
-			res, err := tg.SmartRefineCtx(ctx, members, refineNodes, warm)
+			res, err := tg.SmartRefineCtx(rctx, members, refineNodes, warm)
 			if err != nil {
 				return 0, err
 			}
@@ -275,13 +357,20 @@ func (tg *TileGraph) RouteCtx(ctx context.Context, cfg Config) (*Result, error) 
 		}
 		return prev, nil
 	}
-	mm, err := tg.NodeCurrentsCtx(ctx, members, warm)
-	if err != nil {
-		return nil, fmt.Errorf("route: trim metrics: %w", err)
-	}
-	cur, err := refinePass(mm.Resistance)
-	if err != nil {
-		return nil, fmt.Errorf("route: refine: %w", err)
+	var cur float64
+	if err := runStage("Refine", func(sctx context.Context, sp *obs.Span) error {
+		mm, err := tg.NodeCurrentsCtx(sctx, members, warm)
+		if err != nil {
+			return fmt.Errorf("route: trim metrics: %w", err)
+		}
+		cur, err = refinePass(sctx, mm.Resistance)
+		if err != nil {
+			return fmt.Errorf("route: refine: %w", err)
+		}
+		sp.SetAttrs(obs.A("resistance", cur))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Snapshot the best within-budget configuration seen so far. Reheating
@@ -292,39 +381,45 @@ func (tg *TileGraph) RouteCtx(ctx context.Context, cfg Config) (*Result, error) 
 
 	// Stage 4: reheating (§II-F): dilate past the budget, erode back.
 	if cfg.ReheatDilations > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for d := 0; d < cfg.ReheatDilations; d++ {
-			if tg.Dilate(members) == 0 {
-				break
+		if err := runStage("Reheat", func(sctx context.Context, sp *obs.Span) error {
+			if err := sctx.Err(); err != nil {
+				return err
 			}
-		}
-		mm, err := tg.NodeCurrentsCtx(ctx, members, warm)
-		if err != nil {
-			return nil, fmt.Errorf("route: dilate metrics: %w", err)
-		}
-		record("dilate", members, mm.Resistance)
-		if err := tg.ErodeCtx(ctx, members, areaMax, erodeBatch, warm); err != nil {
-			return nil, fmt.Errorf("route: erode: %w", err)
-		}
-		mm, err = tg.NodeCurrentsCtx(ctx, members, warm)
-		if err != nil {
-			return nil, fmt.Errorf("route: erode metrics: %w", err)
-		}
-		record("erode", members, mm.Resistance)
+			for d := 0; d < cfg.ReheatDilations; d++ {
+				if tg.Dilate(members) == 0 {
+					break
+				}
+			}
+			mm, err := tg.NodeCurrentsCtx(sctx, members, warm)
+			if err != nil {
+				return fmt.Errorf("route: dilate metrics: %w", err)
+			}
+			record("dilate", members, mm.Resistance)
+			if err := tg.ErodeCtx(sctx, members, areaMax, erodeBatch, warm); err != nil {
+				return fmt.Errorf("route: erode: %w", err)
+			}
+			mm, err = tg.NodeCurrentsCtx(sctx, members, warm)
+			if err != nil {
+				return fmt.Errorf("route: erode metrics: %w", err)
+			}
+			record("erode", members, mm.Resistance)
 
-		// A short refine pass settles the eroded shape.
-		cur, err = refinePass(mm.Resistance)
-		if err != nil {
-			return nil, fmt.Errorf("route: post-reheat refine: %w", err)
-		}
-		if cur < bestRes {
-			bestRes = cur
-			copy(best, members)
-		} else {
-			copy(members, best) // reheat regressed: restore
-			record("restore", members, bestRes)
+			// A short refine pass settles the eroded shape.
+			cur, err = refinePass(sctx, mm.Resistance)
+			if err != nil {
+				return fmt.Errorf("route: post-reheat refine: %w", err)
+			}
+			if cur < bestRes {
+				bestRes = cur
+				copy(best, members)
+			} else {
+				copy(members, best) // reheat regressed: restore
+				record("restore", members, bestRes)
+				sp.SetAttrs(obs.A("restored", true))
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 
@@ -332,12 +427,20 @@ func (tg *TileGraph) RouteCtx(ctx context.Context, cfg Config) (*Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("route: final metrics: %w", err)
 	}
-	return &Result{
-		Shape:          tg.Union(members),
+	res := &Result{
 		Members:        members,
 		Graph:          tg,
 		Resistance:     final.Resistance,
 		PairResistance: final.PairResistance,
 		Trace:          trace,
-	}, nil
+	}
+	// Stage 5: back conversion (§II-G) — tiles to copper polygons.
+	if err := runStage("BackConvert", func(sctx context.Context, sp *obs.Span) error {
+		res.Shape = tg.Union(members)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Solve = warm.stats
+	return res, nil
 }

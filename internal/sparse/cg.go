@@ -23,6 +23,17 @@ var ErrBreakdown = errors.New("sparse: CG breakdown (matrix not SPD?)")
 // sparse mat-vec, but a stride keeps the response latency bounded.
 const ctxCheckStride = 16
 
+// CGStats reports what one CG invocation actually did. The residual is
+// captured from the convergence test the iteration already computes, so
+// filling the struct adds no arithmetic to the solve.
+type CGStats struct {
+	// Iterations is the number of iterations performed.
+	Iterations int
+	// Residual is the last relative residual ‖b-Ax‖/‖b‖ the iteration
+	// evaluated (NaN when the solve never reached a residual check).
+	Residual float64
+}
+
 // CGOptions configures the preconditioned conjugate-gradient solver.
 type CGOptions struct {
 	// Tol is the relative residual tolerance ‖b-Ax‖/‖b‖. Zero selects 1e-10.
@@ -37,6 +48,10 @@ type CGOptions struct {
 	// Apply, when non-nil, is a general preconditioner dst = M⁻¹r (e.g.
 	// IC(0)); it takes precedence over Precond.
 	Apply func(dst, r []float64)
+	// Stats, when non-nil, receives the iteration count and final
+	// residual of the solve — telemetry for the fallback ladder and the
+	// observability layer.
+	Stats *CGStats
 }
 
 // validate rejects option values that would loop forever (negative Tol
@@ -90,6 +105,15 @@ func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]flo
 		maxIter = 10*n + 100
 	}
 
+	// setStats publishes the telemetry before every return; lastRes is
+	// reused from the convergence checks, so this costs nothing extra.
+	lastRes := math.NaN()
+	setStats := func(iters int) {
+		if opt.Stats != nil {
+			*opt.Stats = CGStats{Iterations: iters, Residual: lastRes}
+		}
+	}
+
 	x := make([]float64, n)
 	if x0 != nil {
 		copy(x, x0)
@@ -101,9 +125,13 @@ func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]flo
 	}
 	normB := norm2(b)
 	if normB == 0 {
+		lastRes = 0
+		setStats(0)
 		return make([]float64, n), 0, nil // b = 0 ⇒ x = 0
 	}
-	if norm2(r)/normB <= tol {
+	lastRes = norm2(r) / normB
+	if lastRes <= tol {
+		setStats(0)
 		return x, 0, nil
 	}
 
@@ -122,12 +150,14 @@ func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]flo
 	for it := 1; it <= maxIter; it++ {
 		if it%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
+				setStats(it)
 				return nil, it, err
 			}
 		}
 		a.MulVec(ap, p)
 		pap := dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
+			setStats(it)
 			return nil, it, fmt.Errorf("sparse: pᵀAp=%g at iteration %d: %w", pap, it, ErrBreakdown)
 		}
 		alpha := rz / pap
@@ -135,7 +165,9 @@ func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]flo
 			x[i] += alpha * p[i]
 			r[i] -= alpha * ap[i]
 		}
-		if norm2(r)/normB <= tol {
+		lastRes = norm2(r) / normB
+		if lastRes <= tol {
+			setStats(it)
 			return x, it, nil
 		}
 		precond(z, r)
@@ -146,6 +178,7 @@ func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]flo
 			p[i] = z[i] + beta*p[i]
 		}
 	}
+	setStats(maxIter)
 	return x, maxIter, ErrNoConvergence
 }
 

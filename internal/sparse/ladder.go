@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"sprout/internal/obs"
 )
 
 // Rung names of the solver fallback ladder, in escalation order.
@@ -96,6 +98,11 @@ func relResidual(a Matrix, b, x []float64) float64 {
 // solveLadder runs the fallback ladder on the grounded system mat*x = rhs.
 // x0 optionally warm-starts the first rung. Context cancellation aborts
 // the ladder immediately — a cancelled solve is not a solver fault.
+//
+// The returned attempts list every rung tried, in order; on success the
+// final attempt is the accepted rung with a nil Err and the residual the
+// solve actually achieved, so callers see degraded-but-recovered solves
+// without a SolveError.
 func solveLadder(ctx context.Context, mat *CSR, diag []float64, ic *IC0, rhs, x0 []float64) ([]float64, []RungAttempt, error) {
 	var attempts []RungAttempt
 	totalIters := 0
@@ -109,18 +116,24 @@ func solveLadder(ctx context.Context, mat *CSR, diag []float64, ic *IC0, rhs, x0
 	}
 
 	// Rung 1: CG with IC(0) (Jacobi when IC(0) broke down at assembly).
-	opt := CGOptions{Precond: diag}
+	var st CGStats
+	opt := CGOptions{Precond: diag, Stats: &st}
 	if ic != nil {
 		opt.Apply = ic.Apply
 	}
 	x, iters, err := CGCtx(ctx, mat, rhs, x0, opt)
 	if err == nil {
+		note(RungCG, iters, st.Residual, nil)
 		return x, attempts, nil
 	}
 	if ctxErr(err) {
 		return nil, attempts, err
 	}
 	note(RungCG, iters, relResidual(mat, rhs, x), err)
+	// Escalation is rare, so the event cost never lands on the happy
+	// path; the trace makes recovered-but-degraded solves visible.
+	obs.Event(ctx, "solver.escalate",
+		obs.A("from", RungCG), obs.A("iterations", iters))
 
 	// Rung 2: cold restart, plain Jacobi, relaxed tolerance, doubled
 	// budget. A fresh Krylov space sidesteps warm-start or IC(0)
@@ -131,14 +144,18 @@ func solveLadder(ctx context.Context, mat *CSR, diag []float64, ic *IC0, rhs, x0
 		Tol:     relaxedTol,
 		MaxIter: 20*n + 200,
 		Precond: diag,
+		Stats:   &st,
 	})
 	if err == nil {
+		note(RungCGRelaxed, iters, st.Residual, nil)
 		return x, attempts, nil
 	}
 	if ctxErr(err) {
 		return nil, attempts, err
 	}
 	note(RungCGRelaxed, iters, relResidual(mat, rhs, x), err)
+	obs.Event(ctx, "solver.escalate",
+		obs.A("from", RungCGRelaxed), obs.A("iterations", iters))
 
 	// Rung 3: dense Cholesky for small systems.
 	if n <= denseFallbackMax {
@@ -147,6 +164,7 @@ func solveLadder(ctx context.Context, mat *CSR, diag []float64, ic *IC0, rhs, x0
 			x = ch.Solve(rhs)
 			res := relResidual(mat, rhs, x)
 			if !math.IsNaN(res) && res <= relaxedTol*10 {
+				note(RungDense, 0, res, nil)
 				return x, attempts, nil
 			}
 			cerr = fmt.Errorf("sparse: dense fallback residual %.3g exceeds %.3g", res, relaxedTol*10)

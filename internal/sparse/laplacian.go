@@ -95,6 +95,19 @@ func (l *Laplacian) Ground() int { return l.ground }
 // Matrix exposes the grounded CSR matrix (dimension n-1).
 func (l *Laplacian) Matrix() *CSR { return l.mat }
 
+// Preconditioner names the preconditioner the primary rung will use:
+// "ic0" when the incomplete Cholesky factorization succeeded at assembly,
+// "jacobi" when it broke down and the solver fell back to the diagonal.
+func (l *Laplacian) Preconditioner() string {
+	if l.ic != nil {
+		return "ic0"
+	}
+	return "jacobi"
+}
+
+// NNZ returns the number of stored nonzeros in the grounded matrix.
+func (l *Laplacian) NNZ() int { return l.mat.NNZ() }
+
 // Solve computes node potentials without cancellation support; see
 // SolveCtx.
 func (l *Laplacian) Solve(b []float64, warm []float64) ([]float64, error) {
@@ -113,8 +126,17 @@ func (l *Laplacian) Solve(b []float64, warm []float64) ([]float64, error) {
 // returned error is a *SolveError carrying per-rung iteration counts and
 // residuals. Context cancellation aborts the ladder with ctx.Err().
 func (l *Laplacian) SolveCtx(ctx context.Context, b []float64, warm []float64) ([]float64, error) {
+	x, _, err := l.SolveAttemptsCtx(ctx, b, warm)
+	return x, err
+}
+
+// SolveAttemptsCtx is SolveCtx plus the solver-ladder trace: the returned
+// attempts list every rung tried, the last one being the accepted rung on
+// success. Callers that aggregate solver telemetry (SolveStats.Record) use
+// this variant so successful solves are observable too.
+func (l *Laplacian) SolveAttemptsCtx(ctx context.Context, b []float64, warm []float64) ([]float64, []RungAttempt, error) {
 	if len(b) != l.n {
-		return nil, fmt.Errorf("sparse: Solve rhs dim %d, want %d", len(b), l.n)
+		return nil, nil, fmt.Errorf("sparse: Solve rhs dim %d, want %d", len(b), l.n)
 	}
 	rhs := make([]float64, l.n-1)
 	for gi, node := range l.nodeOf {
@@ -123,22 +145,22 @@ func (l *Laplacian) SolveCtx(ctx context.Context, b []float64, warm []float64) (
 	var x0 []float64
 	if warm != nil {
 		if len(warm) != l.n {
-			return nil, fmt.Errorf("sparse: warm start dim %d, want %d", len(warm), l.n)
+			return nil, nil, fmt.Errorf("sparse: warm start dim %d, want %d", len(warm), l.n)
 		}
 		x0 = make([]float64, l.n-1)
 		for gi, node := range l.nodeOf {
 			x0[gi] = warm[node]
 		}
 	}
-	x, _, err := solveLadder(ctx, l.mat, l.diag, l.ic, rhs, x0)
+	x, attempts, err := solveLadder(ctx, l.mat, l.diag, l.ic, rhs, x0)
 	if err != nil {
-		return nil, fmt.Errorf("sparse: laplacian solve: %w", err)
+		return nil, attempts, fmt.Errorf("sparse: laplacian solve: %w", err)
 	}
 	out := make([]float64, l.n)
 	for gi, node := range l.nodeOf {
 		out[node] = x[gi]
 	}
-	return out, nil
+	return out, attempts, nil
 }
 
 // EffectiveResistance returns the two-terminal effective resistance between

@@ -1,0 +1,75 @@
+package sparse
+
+import "math"
+
+// SolveStats aggregates solver-fallback-ladder telemetry across many
+// solves — the per-rung RungAttempt records that used to be visible only
+// inside a SolveError are summarized here for successful solves too, so
+// a degraded-but-recovered solve (e.g. one that escalated to the relaxed
+// rung) is observable without a failure.
+type SolveStats struct {
+	// Solves counts ladder invocations.
+	Solves int
+	// Iterations is the total CG iteration count across every rung of
+	// every solve.
+	Iterations int
+	// Escalations counts rejected rungs: each rung that failed before a
+	// later rung (or nothing) delivered.
+	Escalations int
+	// Failures counts solves where every rung failed.
+	Failures int
+	// WorstResidual is the largest relative residual an accepted solve
+	// finished with (0 until a solve records one).
+	WorstResidual float64
+	// Rungs counts accepted solves per winning rung name (RungCG,
+	// RungCGRelaxed, RungDense).
+	Rungs map[string]int
+}
+
+// Record folds one ladder trace (the attempts of a single solve, in
+// escalation order, the last one being the accepted rung when its Err is
+// nil) into the stats.
+func (s *SolveStats) Record(attempts []RungAttempt) {
+	if len(attempts) == 0 {
+		return
+	}
+	s.Solves++
+	for _, a := range attempts {
+		s.Iterations += a.Iterations
+		if a.Err != nil {
+			s.Escalations++
+		}
+	}
+	last := attempts[len(attempts)-1]
+	if last.Err != nil {
+		s.Failures++
+		return
+	}
+	if s.Rungs == nil {
+		s.Rungs = map[string]int{}
+	}
+	s.Rungs[last.Rung]++
+	if !math.IsNaN(last.Residual) && last.Residual > s.WorstResidual {
+		s.WorstResidual = last.Residual
+	}
+}
+
+// Merge folds another stats block into s.
+func (s *SolveStats) Merge(o SolveStats) {
+	s.Solves += o.Solves
+	s.Iterations += o.Iterations
+	s.Escalations += o.Escalations
+	s.Failures += o.Failures
+	if o.WorstResidual > s.WorstResidual {
+		s.WorstResidual = o.WorstResidual
+	}
+	if len(o.Rungs) > 0 && s.Rungs == nil {
+		s.Rungs = make(map[string]int, len(o.Rungs))
+	}
+	for rung, n := range o.Rungs {
+		s.Rungs[rung] += n
+	}
+}
+
+// Escalated reports whether any solve needed more than its first rung.
+func (s SolveStats) Escalated() bool { return s.Escalations > 0 }

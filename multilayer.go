@@ -3,10 +3,13 @@ package sprout
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"time"
 
 	"sprout/internal/board"
 	"sprout/internal/geom"
+	"sprout/internal/obs"
 	"sprout/internal/route"
 )
 
@@ -30,12 +33,17 @@ type MLNetResult struct {
 	Name   string
 	Vias   []route.Via
 	Copper map[int]geom.Region // layer -> copper
+	// Solve summarizes the solver-ladder telemetry across every layer
+	// component routed for this net.
+	Solve SolveStats
 }
 
 // MLBoardResult is the output of RouteBoardMultilayer.
 type MLBoardResult struct {
 	Board *board.Board
 	Nets  []MLNetResult
+	// Report is the machine-readable run summary (one rail row per net).
+	Report *obs.RunReport
 }
 
 // RouteBoardMultilayer routes across layers without cancellation support;
@@ -55,6 +63,12 @@ func RouteBoardMultilayer(b *board.Board, opt MLRouteOptions) (*MLBoardResult, e
 // aborts between (and within) per-net routing passes with ctx.Err().
 func RouteBoardMultilayerCtx(ctx context.Context, b *board.Board, opt MLRouteOptions) (out *MLBoardResult, err error) {
 	defer recoverToError(&err)
+	start := time.Now()
+	ctx, rootSp := obs.StartSpan(ctx, "RouteBoardMultilayer", obs.A("board", b.Name))
+	defer func() {
+		rootSp.Fail(err)
+		rootSp.End()
+	}()
 	layers := opt.Layers
 	if len(layers) == 0 {
 		layers = b.RoutableLayers()
@@ -105,31 +119,76 @@ func RouteBoardMultilayerCtx(ctx context.Context, b *board.Board, opt MLRouteOpt
 			availOf[layer] = avail
 			spaces = append(spaces, route.LayerSpace{Layer: layer, Avail: avail})
 		}
-		plan, err := route.PlanMultilayer(spaces, terms, viaPitch, b.Rules.ViaCost)
-		if err != nil {
-			return nil, fmt.Errorf("sprout: net %s multilayer plan: %w", net.Name, err)
-		}
-		nr := MLNetResult{Net: net.ID, Name: net.Name, Vias: plan.Vias, Copper: map[int]geom.Region{}}
-		for _, layer := range plan.LayersUsed() {
-			cfg := opt.Config
-			if budget := opt.Budgets[net.ID]; budget > 0 {
-				cfg.AreaMax = budget
-			}
-			results, err := route.RouteLayerCtx(ctx, availOf[layer], plan.PerLayer[layer], cfg)
+		// Each net gets its own trace track and pprof label, as in the
+		// single-layer driver.
+		if err := func() error {
+			nctx := obs.WithTrack(ctx, "net:"+net.Name)
+			nctx = pprof.WithLabels(nctx, pprof.Labels("rail", net.Name))
+			pprof.SetGoroutineLabels(nctx)
+			defer pprof.SetGoroutineLabels(ctx)
+			nctx, netSp := obs.StartSpan(nctx, "Net", obs.A("net", net.Name))
+			defer netSp.End()
+
+			plan, err := route.PlanMultilayerCtx(nctx, spaces, terms, viaPitch, b.Rules.ViaCost)
 			if err != nil {
-				return nil, fmt.Errorf("sprout: net %s layer %d: %w", net.Name, layer, err)
+				err = fmt.Errorf("sprout: net %s multilayer plan: %w", net.Name, err)
+				netSp.Fail(err)
+				return err
 			}
-			lc := geom.EmptyRegion()
-			for _, r := range results {
-				lc = lc.Union(r.Shape)
+			nr := MLNetResult{Net: net.ID, Name: net.Name, Vias: plan.Vias, Copper: map[int]geom.Region{}}
+			for _, layer := range plan.LayersUsed() {
+				cfg := opt.Config
+				if budget := opt.Budgets[net.ID]; budget > 0 {
+					cfg.AreaMax = budget
+				}
+				lctx, laySp := obs.StartSpan(nctx, "Layer", obs.A("layer", layer))
+				results, err := route.RouteLayerCtx(lctx, availOf[layer], plan.PerLayer[layer], cfg)
+				if err != nil {
+					err = fmt.Errorf("sprout: net %s layer %d: %w", net.Name, layer, err)
+					laySp.Fail(err)
+					laySp.End()
+					netSp.Fail(err)
+					return err
+				}
+				laySp.End()
+				lc := geom.EmptyRegion()
+				for _, r := range results {
+					lc = lc.Union(r.Shape)
+					nr.Solve.Merge(r.Solve)
+				}
+				nr.Copper[layer] = lc
+				copper[layer] = copper[layer].Union(lc)
 			}
-			nr.Copper[layer] = lc
-			copper[layer] = copper[layer].Union(lc)
+			out.Nets = append(out.Nets, nr)
+			return nil
+		}(); err != nil {
+			return nil, err
 		}
-		out.Nets = append(out.Nets, nr)
 	}
 	if len(out.Nets) == 0 {
 		return nil, fmt.Errorf("sprout: no multilayer-routable nets")
 	}
+	out.Report = buildRunReport(b.Name, 0, true, time.Since(start),
+		mlRailReports(out.Nets), obs.FromContext(ctx))
 	return out, nil
+}
+
+// mlRailReports converts the multilayer net results into report rows: one
+// row per net with the via count, total copper area across layers, and
+// the merged solver telemetry.
+func mlRailReports(nets []MLNetResult) []obs.RailReport {
+	out := make([]obs.RailReport, 0, len(nets))
+	for _, nr := range nets {
+		rr := obs.RailReport{
+			Name:  nr.Name,
+			Net:   int(nr.Net),
+			Vias:  len(nr.Vias),
+			Solve: solveReport(nr.Solve),
+		}
+		for _, c := range nr.Copper {
+			rr.AreaUnits += c.Area()
+		}
+		out = append(out, rr)
+	}
+	return out
 }

@@ -1,0 +1,107 @@
+package sprout
+
+import (
+	"math"
+	"time"
+
+	"sprout/internal/obs"
+	"sprout/internal/route"
+)
+
+// buildRunReport assembles the machine-readable run summary. The tracer
+// metrics are attached only when the run was traced; the per-rail stage
+// and solver sections are always present, so a report exists even for
+// untraced runs.
+func buildRunReport(boardName string, layer int, multilayer bool, dur time.Duration, rails []obs.RailReport, tr *obs.Tracer) *obs.RunReport {
+	rep := &obs.RunReport{
+		Tool:       "sprout",
+		Board:      boardName,
+		Layer:      layer,
+		Multilayer: multilayer,
+		DurationMS: durMS(dur),
+		Rails:      rails,
+	}
+	if tr.Enabled() {
+		rep.Counters, rep.Histograms = tr.MetricsSnapshot()
+	}
+	return rep
+}
+
+// railReports converts the rail results into their report rows.
+func railReports(rails []RailResult) []obs.RailReport {
+	out := make([]obs.RailReport, 0, len(rails))
+	for _, rail := range rails {
+		out = append(out, railReport(rail))
+	}
+	return out
+}
+
+// railReport flattens one rail's results — route trace, solver stats,
+// extraction — into the report row. NaN resistances (a degraded seed whose
+// nodal analysis failed) are dropped so the report always marshals to
+// valid JSON.
+func railReport(rail RailResult) obs.RailReport {
+	rr := obs.RailReport{
+		Name:     rail.Name,
+		Net:      int(rail.Net),
+		Degraded: rail.Diag.Degraded,
+		Solve:    solveReport(rail.Solve),
+	}
+	if rail.Diag.Err != nil {
+		rr.Error = rail.Diag.Err.Error()
+	}
+	if rail.Route != nil {
+		rr.AreaUnits = rail.Route.Shape.Area()
+		rr.Stages = stageReports(rail.Route.Trace)
+	}
+	if rail.Extract != nil {
+		rr.ResistanceOhms = rail.Extract.ResistanceOhms
+		rr.InductancePH = rail.Extract.InductancePH
+	}
+	return rr
+}
+
+// solveReport converts the aggregated ladder stats into the report form.
+func solveReport(s SolveStats) obs.SolveReport {
+	return obs.SolveReport{
+		Solves:        s.Solves,
+		Iterations:    s.Iterations,
+		Escalations:   s.Escalations,
+		Failures:      s.Failures,
+		WorstResidual: s.WorstResidual,
+		Rungs:         s.Rungs,
+	}
+}
+
+// stageReports folds the per-iteration pipeline trace into per-stage
+// aggregates. IterRecord.Elapsed is a cumulative wall clock, so the
+// per-iteration cost is the difference between consecutive records; the
+// trace is in execution order, which the stage list preserves.
+func stageReports(trace []route.IterRecord) []obs.StageReport {
+	var out []obs.StageReport
+	idx := map[string]int{}
+	prev := time.Duration(0)
+	for _, it := range trace {
+		d := it.Elapsed - prev
+		prev = it.Elapsed
+		i, ok := idx[it.Stage]
+		if !ok {
+			i = len(out)
+			idx[it.Stage] = i
+			out = append(out, obs.StageReport{Stage: it.Stage})
+		}
+		out[i].Iterations++
+		out[i].DurationMS += durMS(d)
+		out[i].Nodes = it.Nodes
+		out[i].Area = it.Area
+		if !math.IsNaN(it.Resistance) {
+			out[i].Resistance = it.Resistance
+		}
+	}
+	return out
+}
+
+// durMS converts a duration to fractional milliseconds for the report.
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

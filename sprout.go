@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"time"
 
 	"sprout/internal/board"
 	"sprout/internal/ckt"
@@ -11,7 +13,9 @@ import (
 	"sprout/internal/extract"
 	"sprout/internal/geom"
 	"sprout/internal/manual"
+	"sprout/internal/obs"
 	"sprout/internal/route"
+	"sprout/internal/sparse"
 )
 
 // Re-exported names so downstream users interact with one import.
@@ -41,7 +45,23 @@ type (
 	PDNModel = ckt.PDNModel
 	// Decap is a decoupling capacitor model.
 	Decap = ckt.Decap
+	// Tracer is the observability tracer; attach one to the context with
+	// WithTracer to record spans, events, counters and histograms.
+	Tracer = obs.Tracer
+	// SolveStats summarizes solver-fallback-ladder telemetry.
+	SolveStats = sparse.SolveStats
+	// RunReport is the machine-readable run summary embedded in results.
+	RunReport = obs.RunReport
 )
+
+// NewTracer returns an enabled tracer (see the obs package for options).
+func NewTracer() *Tracer { return obs.New() }
+
+// WithTracer attaches a tracer to the context so RouteBoardCtx (and every
+// pipeline stage under it) records spans and solver telemetry.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.WithTracer(ctx, t)
+}
 
 // NewBoard validates and constructs a Board.
 func NewBoard(name string, outline geom.Rect, stackup Stackup, rules DesignRules) (*Board, error) {
@@ -155,6 +175,10 @@ type RailResult struct {
 	// requested (paper Tables II-III).
 	Manual        *manual.Result
 	ManualExtract *extract.Report
+	// Solve summarizes the solver-fallback-ladder telemetry across every
+	// nodal analysis of this rail's pipeline — successful solves included,
+	// so escalations that recovered are still visible.
+	Solve SolveStats
 	// Diag carries this rail's failure record.
 	Diag RailDiag
 }
@@ -164,6 +188,10 @@ type BoardResult struct {
 	Board *board.Board
 	Layer int
 	Rails []RailResult
+	// Report is the machine-readable run summary: per-rail stage
+	// durations, solver telemetry, impedance, and degradation flags
+	// (plus tracer metrics when the run was traced).
+	Report *obs.RunReport
 }
 
 // FailedRails lists the rails that recorded a failure (degraded or
@@ -227,6 +255,13 @@ func RouteBoard(b *board.Board, opt RouteOptions) (*BoardResult, error) {
 // all.
 func RouteBoardCtx(ctx context.Context, b *board.Board, opt RouteOptions) (result *BoardResult, err error) {
 	defer recoverToError(&err)
+	start := time.Now()
+	ctx, rootSp := obs.StartSpan(ctx, "RouteBoard",
+		obs.A("board", b.Name), obs.A("layer", opt.Layer))
+	defer func() {
+		rootSp.Fail(err)
+		rootSp.End()
+	}()
 	if opt.Layer < 1 || opt.Layer > b.Stackup.NumLayers() {
 		return nil, fmt.Errorf("sprout: routing layer %d out of range [1,%d]", opt.Layer, b.Stackup.NumLayers())
 	}
@@ -274,88 +309,111 @@ func RouteBoardCtx(ctx context.Context, b *board.Board, opt RouteOptions) (resul
 		if len(terms) < 2 {
 			continue // nothing to route on this layer for this net
 		}
-		cfg := opt.Config
-		budget := opt.Budgets[net.ID]
-		if budget > 0 {
-			cfg.AreaMax = budget
-		}
+		// Each rail runs under its own trace track, span, and pprof label,
+		// so CPU profiles and Chrome traces attribute time per rail. The
+		// closure scopes the deferred cleanup to one net.
+		if err := func() error {
+			rctx := obs.WithTrack(ctx, "rail:"+net.Name)
+			rctx = pprof.WithLabels(rctx, pprof.Labels("rail", net.Name))
+			pprof.SetGoroutineLabels(rctx)
+			defer pprof.SetGoroutineLabels(ctx)
+			rctx, railSp := obs.StartSpan(rctx, "Rail", obs.A("net", net.Name))
+			defer railSp.End()
 
-		baseAvail := b.AvailableSpace(net.ID, opt.Layer)
-		avail := baseAvail.Subtract(sproutCopper.Bloat(b.Rules.Clearance))
-		rail := RailResult{Net: net.ID, Name: net.Name, Budget: cfg.AreaMax}
-		res, rerr := route.RouteCtx(ctx, avail, terms, cfg)
-		switch {
-		case rerr == nil:
-			rail.Route = res
-		case isCtxErr(rerr):
-			return nil, rerr // cancellation is never a rail fault
-		case opt.FailFast:
-			return nil, fmt.Errorf("sprout: net %s: %w", net.Name, rerr)
-		default:
-			// Per-rail isolation: record the failure and degrade to the
-			// seed-only route (paper Alg. 2). The seed ignores the area
-			// budget — a minimal connected shape beats no shape. When even
-			// seeding fails the rail stays unrouted but the board goes on.
-			rail.Diag.Err = fmt.Errorf("sprout: net %s: %w", net.Name, rerr)
-			if seed, serr := route.SeedOnly(ctx, avail, terms, cfg); serr == nil {
-				rail.Route = seed
-				rail.Diag.Degraded = true
-			} else if isCtxErr(serr) {
-				return nil, serr
+			cfg := opt.Config
+			budget := opt.Budgets[net.ID]
+			if budget > 0 {
+				cfg.AreaMax = budget
 			}
-		}
 
-		if rail.Route != nil {
-			sproutCopper = sproutCopper.Union(rail.Route.Shape)
-			if !opt.SkipExtract {
-				rep, xerr := extract.Extract(rail.Route.Shape.Union(termPads(terms)), terms, exOpt)
-				if xerr != nil {
-					if opt.FailFast {
-						return nil, fmt.Errorf("sprout: extract net %s: %w", net.Name, xerr)
-					}
-					rail.Diag.Err = errors.Join(rail.Diag.Err,
-						fmt.Errorf("sprout: extract net %s: %w", net.Name, xerr))
-				} else {
-					rail.Extract = rep
+			baseAvail := b.AvailableSpace(net.ID, opt.Layer)
+			avail := baseAvail.Subtract(sproutCopper.Bloat(b.Rules.Clearance))
+			rail := RailResult{Net: net.ID, Name: net.Name, Budget: cfg.AreaMax}
+			res, rerr := route.RouteCtx(rctx, avail, terms, cfg)
+			switch {
+			case rerr == nil:
+				rail.Route = res
+			case isCtxErr(rerr):
+				return rerr // cancellation is never a rail fault
+			case opt.FailFast:
+				return fmt.Errorf("sprout: net %s: %w", net.Name, rerr)
+			default:
+				// Per-rail isolation: record the failure and degrade to the
+				// seed-only route (paper Alg. 2). The seed ignores the area
+				// budget — a minimal connected shape beats no shape. When even
+				// seeding fails the rail stays unrouted but the board goes on.
+				rail.Diag.Err = fmt.Errorf("sprout: net %s: %w", net.Name, rerr)
+				if seed, serr := route.SeedOnly(rctx, avail, terms, cfg); serr == nil {
+					rail.Route = seed
+					rail.Diag.Degraded = true
+				} else if isCtxErr(serr) {
+					return serr
 				}
 			}
-		}
 
-		if opt.WithManual && rail.Route != nil {
-			mAvail := baseAvail.Subtract(manualCopper.Bloat(b.Rules.Clearance))
-			target := cfg.AreaMax
-			if target <= 0 {
-				target = rail.Route.Shape.Area()
-			}
-			tile := cfg.DX
-			if tile == 0 {
-				tile = 10
-			}
-			man, merr := manual.Route(mAvail, terms, target, tile)
-			if merr != nil {
-				if opt.FailFast {
-					return nil, fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, merr)
-				}
-				rail.Diag.Err = errors.Join(rail.Diag.Err,
-					fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, merr))
-			} else {
-				manualCopper = manualCopper.Union(man.Shape)
-				rail.Manual = man
+			if rail.Route != nil {
+				rail.Solve = rail.Route.Solve
+				sproutCopper = sproutCopper.Union(rail.Route.Shape)
 				if !opt.SkipExtract {
-					rep, xerr := extract.Extract(man.Shape.Union(termPads(terms)), terms, exOpt)
+					rep, xerr := extract.ExtractCtx(rctx, rail.Route.Shape.Union(termPads(terms)), terms, exOpt)
 					if xerr != nil {
+						if isCtxErr(xerr) {
+							return xerr
+						}
 						if opt.FailFast {
-							return nil, fmt.Errorf("sprout: extract manual net %s: %w", net.Name, xerr)
+							return fmt.Errorf("sprout: extract net %s: %w", net.Name, xerr)
 						}
 						rail.Diag.Err = errors.Join(rail.Diag.Err,
-							fmt.Errorf("sprout: extract manual net %s: %w", net.Name, xerr))
+							fmt.Errorf("sprout: extract net %s: %w", net.Name, xerr))
 					} else {
-						rail.ManualExtract = rep
+						rail.Extract = rep
 					}
 				}
 			}
+
+			if opt.WithManual && rail.Route != nil {
+				mAvail := baseAvail.Subtract(manualCopper.Bloat(b.Rules.Clearance))
+				target := cfg.AreaMax
+				if target <= 0 {
+					target = rail.Route.Shape.Area()
+				}
+				tile := cfg.DX
+				if tile == 0 {
+					tile = 10
+				}
+				man, merr := manual.Route(mAvail, terms, target, tile)
+				if merr != nil {
+					if opt.FailFast {
+						return fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, merr)
+					}
+					rail.Diag.Err = errors.Join(rail.Diag.Err,
+						fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, merr))
+				} else {
+					manualCopper = manualCopper.Union(man.Shape)
+					rail.Manual = man
+					if !opt.SkipExtract {
+						rep, xerr := extract.ExtractCtx(rctx, man.Shape.Union(termPads(terms)), terms, exOpt)
+						if xerr != nil {
+							if isCtxErr(xerr) {
+								return xerr
+							}
+							if opt.FailFast {
+								return fmt.Errorf("sprout: extract manual net %s: %w", net.Name, xerr)
+							}
+							rail.Diag.Err = errors.Join(rail.Diag.Err,
+								fmt.Errorf("sprout: extract manual net %s: %w", net.Name, xerr))
+						} else {
+							rail.ManualExtract = rep
+						}
+					}
+				}
+			}
+			railSp.Fail(rail.Diag.Err)
+			result.Rails = append(result.Rails, rail)
+			return nil
+		}(); err != nil {
+			return nil, err
 		}
-		result.Rails = append(result.Rails, rail)
 	}
 	if len(result.Rails) == 0 {
 		return nil, fmt.Errorf("sprout: no routable nets on layer %d", opt.Layer)
@@ -372,6 +430,8 @@ func RouteBoardCtx(ctx context.Context, b *board.Board, opt RouteOptions) (resul
 	if routed == 0 {
 		return nil, fmt.Errorf("sprout: every rail failed on layer %d: %w", opt.Layer, firstErr)
 	}
+	result.Report = buildRunReport(b.Name, opt.Layer, false, time.Since(start),
+		railReports(result.Rails), obs.FromContext(ctx))
 	return result, nil
 }
 
