@@ -15,12 +15,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"sprout"
@@ -84,7 +87,13 @@ func main() {
 		c.tracer = obs.New(topts...)
 	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the context instead of killing the process:
+	// an interrupted run unwinds through the normal error path, so the
+	// -trace file is still flushed (a trace of an interrupted run is the
+	// most useful kind) and deferred cleanups run instead of dying
+	// mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -96,9 +105,12 @@ func main() {
 		err = werr
 	}
 	if err != nil {
-		if ctx.Err() != nil {
+		switch {
+		case errors.Is(ctx.Err(), context.Canceled):
+			c.log.Error("interrupted by signal", "err", err)
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
 			c.log.Error("timed out", "after", *timeout, "err", err)
-		} else {
+		default:
 			c.log.Error("run failed", "err", err)
 		}
 		os.Exit(1)

@@ -1,0 +1,106 @@
+// Command sproutd is the long-running SPROUT routing service: an HTTP
+// API that accepts board documents (the same JSON schema `sprout -board`
+// reads), routes them on a bounded worker pool with admission control,
+// and serves per-job run reports and Chrome traces.
+//
+//	POST /v1/jobs              submit a board (Idempotency-Key dedupes retries,
+//	                           ?timeout=90s bounds the job, ?manual=1, ?skip_extract=1)
+//	GET  /v1/jobs/{id}         poll status
+//	GET  /v1/jobs/{id}/result  run report (429/503/504/500 map the typed errors)
+//	GET  /v1/jobs/{id}/trace   Chrome trace of the run (open in Perfetto)
+//	GET  /healthz /readyz /metrics
+//
+// On SIGTERM/SIGINT the server stops admitting (readyz goes 503), drains
+// in-flight jobs for -drain, cancels stragglers with a typed shutdown
+// error, and exits; no accepted job is dropped without a terminal state.
+//
+// Usage:
+//
+//	sproutd -addr :8080 -workers 4 -queue 32 -drain 15s -job-timeout 2m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sprout/internal/obs"
+	"sprout/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent routing jobs (in-flight limit)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers); beyond it submissions get 429")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline before stragglers are cancelled")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline")
+	maxJobTimeout := flag.Duration("max-job-timeout", 10*time.Minute, "cap on client-requested ?timeout=")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 rejections")
+	verbose := flag.Bool("v", false, "verbose: log per-job detail")
+	quiet := flag.Bool("q", false, "quiet: log errors only")
+	flag.Parse()
+
+	verbosity := obs.Normal
+	switch {
+	case *quiet:
+		verbosity = obs.Quiet
+	case *verbose:
+		verbosity = obs.Verbose
+	}
+	log := obs.NewLogger(os.Stderr, verbosity)
+
+	eng := server.New(server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		MaxJobTimeout: *maxJobTimeout,
+		DrainTimeout:  *drain,
+		RetryAfter:    *retryAfter,
+		Tracer:        obs.New(),
+		Log:           log,
+	})
+	eng.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           eng.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// SIGTERM/SIGINT starts the graceful sequence: admission closes (and
+	// /readyz flips) immediately, the pool drains under the bounded
+	// deadline, and only then does the HTTP listener close — so status
+	// polls keep working while the drain runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Info("signal received, draining", "drain", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := eng.Shutdown(dctx); err != nil {
+			log.Warn("drain deadline expired", "err", err)
+		}
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer hcancel()
+		if err := httpSrv.Shutdown(hctx); err != nil {
+			log.Warn("http shutdown", "err", err)
+		}
+	}()
+
+	log.Info("sproutd listening", "addr", *addr, "workers", *workers)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("listen failed", "err", err)
+		os.Exit(1)
+	}
+	<-shutdownDone
+	log.Info("sproutd exited cleanly")
+}

@@ -1,0 +1,107 @@
+package sprout
+
+// White-box tests for the per-rail failure bookkeeping: RailDiag.Failed,
+// BoardResult.FailedRails, and the isCtxErr classification that decides
+// whether a failure aborts the board (cancellation) or degrades one rail
+// (everything else). These paths were previously exercised only
+// indirectly through the integration tests in fault_test.go.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sprout/internal/sparse"
+)
+
+func TestRailDiagFailed(t *testing.T) {
+	var d RailDiag
+	if d.Failed() {
+		t.Fatal("zero-value diag must be healthy")
+	}
+	d.Err = errors.New("boom")
+	if !d.Failed() {
+		t.Fatal("diag with an error must report failure")
+	}
+	// Degraded without an error does not count as failed on its own: a
+	// rail is only degraded because something failed first, so Err is
+	// always set alongside it by RouteBoardCtx; Failed keys off Err.
+	d = RailDiag{Degraded: true}
+	if d.Failed() {
+		t.Fatal("degraded flag alone must not report failure")
+	}
+}
+
+func TestFailedRailsMixed(t *testing.T) {
+	degradedErr := fmt.Errorf("sprout: net VDD: %w", errors.New("grow failed"))
+	unroutedErr := fmt.Errorf("sprout: net VIO: %w", errors.New("no seed path"))
+	res := &BoardResult{
+		Rails: []RailResult{
+			{Name: "VCORE"}, // healthy
+			{Name: "VDD", Diag: RailDiag{Err: degradedErr, Degraded: true}},
+			{Name: "VIO", Diag: RailDiag{Err: unroutedErr}},
+			{Name: "VAUX"}, // healthy
+		},
+	}
+	failed := res.FailedRails()
+	if len(failed) != 2 {
+		t.Fatalf("FailedRails = %d rails, want 2", len(failed))
+	}
+	// Order of the original rail list is preserved.
+	if failed[0].Name != "VDD" || failed[1].Name != "VIO" {
+		t.Fatalf("FailedRails order = %s,%s, want VDD,VIO", failed[0].Name, failed[1].Name)
+	}
+	if !failed[0].Diag.Degraded || failed[1].Diag.Degraded {
+		t.Fatal("degradation flags must ride along with the failures")
+	}
+	if !errors.Is(failed[0].Diag.Err, degradedErr) {
+		t.Fatal("FailedRails must carry the original error chain")
+	}
+}
+
+func TestFailedRailsEmpty(t *testing.T) {
+	res := &BoardResult{Rails: []RailResult{{Name: "VDD"}, {Name: "VIO"}}}
+	if got := res.FailedRails(); got != nil {
+		t.Fatalf("healthy board FailedRails = %+v, want nil", got)
+	}
+}
+
+func TestIsCtxErrClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"wrapped canceled", fmt.Errorf("solve: %w", context.Canceled), true},
+		{"deeply wrapped deadline", fmt.Errorf("a: %w", fmt.Errorf("b: %w", context.DeadlineExceeded)), true},
+		{"joined with rail fault", errors.Join(errors.New("extract failed"), context.Canceled), true},
+		{"solver breakdown", sparse.ErrNoConvergence, false},
+		{"solve error chain", &sparse.SolveError{Err: sparse.ErrNoConvergence}, false},
+		{"panic", &PanicError{Value: "x"}, false},
+		{"plain", errors.New("plain failure"), false},
+		{"overloaded", ErrOverloaded, false},
+		{"shutting down", ErrShuttingDown, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := isCtxErr(c.err); got != c.want {
+				t.Fatalf("isCtxErr(%v) = %v, want %v", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+// TestIsCtxErrSolveErrorWrappingCancellation pins the subtle case: a
+// solver ladder that failed *because* the context was cancelled must
+// classify as a context error (abort the board), not as a rail fault to
+// degrade around.
+func TestIsCtxErrSolveErrorWrappingCancellation(t *testing.T) {
+	err := &sparse.SolveError{Err: context.Canceled}
+	if !isCtxErr(err) {
+		t.Fatal("a solve error caused by cancellation must classify as a context error")
+	}
+}

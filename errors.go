@@ -1,9 +1,22 @@
 package sprout
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 )
+
+// ErrOverloaded is returned when admission control rejects new work
+// because the serving queue is full. The sproutd HTTP layer maps it to
+// 429 Too Many Requests with a Retry-After hint; clients should back off
+// and retry.
+var ErrOverloaded = errors.New("sprout: overloaded, retry later")
+
+// ErrShuttingDown is returned when new work is rejected — or in-flight
+// work is cancelled past the drain deadline — because the serving
+// process is draining for shutdown. The sproutd HTTP layer maps it to
+// 503 Service Unavailable.
+var ErrShuttingDown = errors.New("sprout: shutting down")
 
 // PanicError wraps a panic recovered at the sprout API boundary. The
 // internal packages (graph, sparse, board, geom) panic on programming

@@ -5,6 +5,16 @@
 // fire a chosen action at a chosen call count: force a solver breakdown,
 // return ErrNoConvergence, or cancel a context mid-pipeline.
 //
+// Three arming modes cover the failure shapes the tests need:
+//
+//   - Arm fires at an exact call count (or every call) — deterministic
+//     hard faults.
+//   - ArmProbabilistic fires each call with probability p drawn from a
+//     seeded generator — intermittent faults that are still reproducible
+//     run to run (the chaos/soak tests depend on this).
+//   - ArmLatency injects a delay (optionally probabilistic) instead of
+//     an error — slow-path faults that exercise deadlines and drains.
+//
 // The package is disabled by default and adds a single atomic load to
 // the hot path when no hook is armed, so check points are safe to leave
 // in performance-sensitive loops.
@@ -12,9 +22,11 @@ package faultinject
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Well-known injection sites. Constants live here (not in the packages
@@ -66,14 +78,25 @@ func SiteDoc(name string) string { return registry[name] }
 // hook is one armed injection site.
 type hook struct {
 	// at is the 1-indexed call count the hook fires on; 0 fires on every
-	// call.
+	// call. Ignored when rng is set (probabilistic mode).
 	at int
+	// rng drives probabilistic triggering; nil means count-based. The
+	// generator is seeded at arm time and only ever drawn under the
+	// package mutex, so a given seed replays the same fire pattern.
+	rng *rand.Rand
+	// prob is the per-call trigger probability in probabilistic mode.
+	prob float64
+	// delay is slept (outside the lock) when the hook triggers, before
+	// fire runs — latency injection.
+	delay time.Duration
 	// fire runs when the hook triggers. A non-nil return is handed to the
 	// caller of Check as the injected fault; a nil return lets execution
 	// continue (useful for side effects such as cancelling a context).
 	fire func() error
-	// calls counts Check invocations against this site.
+	// calls counts Check invocations against this site; fired counts how
+	// many of them triggered.
 	calls int
+	fired int
 }
 
 var (
@@ -89,6 +112,40 @@ var (
 // Arming a site that is not in the canonical registry panics: an unknown
 // name is a test typo whose hook would otherwise silently never fire.
 func Arm(site string, at int, fire func() error) {
+	install(site, &hook{at: at, fire: fire})
+}
+
+// ArmProbabilistic installs a hook that fires on each Check with
+// probability p, drawn from a generator seeded with seed — intermittent
+// faults whose exact fire pattern is reproducible run to run. p is
+// clamped to [0,1]. Re-arming resets the counter and the generator, so
+// the same seed replays the same decisions.
+func ArmProbabilistic(site string, seed int64, p float64, fire func() error) {
+	install(site, &hook{rng: rand.New(rand.NewSource(seed)), prob: clamp01(p), fire: fire})
+}
+
+// ArmLatency installs a hook that, with probability p per Check (drawn
+// from a generator seeded with seed; p is clamped to [0,1], and p >= 1
+// delays every call), sleeps d and then lets execution continue. It
+// injects slowness, not errors — the tool for exercising deadlines,
+// admission backpressure, and shutdown drains.
+func ArmLatency(site string, seed int64, p float64, d time.Duration) {
+	install(site, &hook{rng: rand.New(rand.NewSource(seed)), prob: clamp01(p), delay: d})
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	}
+	return p
+}
+
+// install registers the hook under the canonical-registry contract shared
+// by every arming mode.
+func install(site string, h *hook) {
 	if !IsSite(site) {
 		panic(fmt.Sprintf("faultinject: Arm(%q): not a registered site (known: %v)", site, Sites()))
 	}
@@ -100,7 +157,7 @@ func Arm(site string, at int, fire func() error) {
 	if _, exists := hooks[site]; !exists {
 		armed.Add(1)
 	}
-	hooks[site] = &hook{at: at, fire: fire}
+	hooks[site] = h
 }
 
 // Disarm removes the hook at the site, if any.
@@ -136,10 +193,25 @@ func Check(site string) error {
 		return nil
 	}
 	h.calls++
-	trigger := h.at == 0 || h.calls == h.at
+	var trigger bool
+	if h.rng != nil {
+		trigger = h.rng.Float64() < h.prob
+	} else {
+		trigger = h.at == 0 || h.calls == h.at
+	}
+	if trigger {
+		h.fired++
+	}
 	fire := h.fire
+	delay := h.delay
 	mu.Unlock()
-	if !trigger || fire == nil {
+	if !trigger {
+		return nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fire == nil {
 		return nil
 	}
 	return fire()
@@ -152,6 +224,17 @@ func Calls(site string) int {
 	defer mu.Unlock()
 	if h := hooks[site]; h != nil {
 		return h.calls
+	}
+	return 0
+}
+
+// Fired reports how many Check calls actually triggered the armed hook
+// (delay and/or fire) since it was armed. Unarmed sites report zero.
+func Fired(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if h := hooks[site]; h != nil {
+		return h.fired
 	}
 	return 0
 }

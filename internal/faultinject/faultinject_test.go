@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestUnarmedCheckIsNil(t *testing.T) {
@@ -94,6 +95,95 @@ func TestConcurrentChecks(t *testing.T) {
 	}
 	if got := Calls(SiteCG); got != 200 {
 		t.Fatalf("Calls = %d, want 200", got)
+	}
+}
+
+func TestProbabilisticIsDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	pattern := func(seed int64) []bool {
+		ArmProbabilistic(SiteCG, seed, 0.3, func() error { return boom })
+		var got []bool
+		for i := 0; i < 200; i++ {
+			got = append(got, Check(SiteCG) != nil)
+		}
+		return got
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, hit := range a {
+		if hit {
+			fired++
+		}
+	}
+	// 200 draws at p=0.3: the pattern must be intermittent, neither
+	// always-on nor never-firing.
+	if fired == 0 || fired == 200 {
+		t.Fatalf("fired %d/200 times, want intermittent", fired)
+	}
+	if got := Fired(SiteCG); got != fired {
+		t.Fatalf("Fired = %d, want %d", got, fired)
+	}
+	if got := Calls(SiteCG); got != 200 {
+		t.Fatalf("Calls = %d, want 200", got)
+	}
+}
+
+func TestProbabilisticExtremes(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	ArmProbabilistic(SiteGrow, 1, 0, func() error { return boom })
+	for i := 0; i < 50; i++ {
+		if Check(SiteGrow) != nil {
+			t.Fatal("p=0 must never fire")
+		}
+	}
+	ArmProbabilistic(SiteGrow, 1, 2, func() error { return boom }) // clamped to 1
+	for i := 0; i < 50; i++ {
+		if Check(SiteGrow) == nil {
+			t.Fatal("p>=1 must always fire")
+		}
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	const d = 5 * time.Millisecond
+	ArmLatency(SiteRefine, 3, 1, d)
+	start := time.Now()
+	if err := Check(SiteRefine); err != nil {
+		t.Fatalf("latency hook must not inject an error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("Check returned after %v, want >= %v of injected latency", elapsed, d)
+	}
+	if Fired(SiteRefine) != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired(SiteRefine))
+	}
+}
+
+func TestLatencyProbabilisticIsDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() int {
+		ArmLatency(SiteRefine, 11, 0.5, 0)
+		for i := 0; i < 100; i++ {
+			if err := Check(SiteRefine); err != nil {
+				t.Fatalf("latency hook returned error: %v", err)
+			}
+		}
+		return Fired(SiteRefine)
+	}
+	if a, b := run(), run(); a != b || a == 0 || a == 100 {
+		t.Fatalf("fired %d then %d of 100, want equal and intermittent", a, b)
 	}
 }
 

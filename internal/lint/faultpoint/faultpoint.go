@@ -26,11 +26,14 @@ var Analyzer = &analysis.Analyzer{
 
 // siteFuncs are the faultinject functions whose first argument is a site.
 var siteFuncs = map[string]bool{
-	"Check":   true,
-	"Arm":     true,
-	"Disarm":  true,
-	"Calls":   true,
-	"SiteDoc": true,
+	"Check":            true,
+	"Arm":              true,
+	"ArmProbabilistic": true,
+	"ArmLatency":       true,
+	"Disarm":           true,
+	"Calls":            true,
+	"Fired":            true,
+	"SiteDoc":          true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -29,3 +29,18 @@ func ArmTypo() {
 func Dynamic(site string) error {
 	return faultinject.Check(site) // want `site must be a compile-time string constant`
 }
+
+// ProbabilisticOK arms a registered site probabilistically: accepted.
+func ProbabilisticOK() {
+	faultinject.ArmProbabilistic(faultinject.SiteCG, 42, 0.5, nil)
+}
+
+// ProbabilisticTypo arms an unregistered site: flagged.
+func ProbabilisticTypo() {
+	faultinject.ArmProbabilistic("sparse.cgg", 42, 0.5, nil) // want `"sparse.cgg" is not a registered site`
+}
+
+// LatencyTypo injects latency at an unregistered site: flagged.
+func LatencyTypo() {
+	faultinject.ArmLatency("grow.route", 42, 1, 0) // want `"grow.route" is not a registered site`
+}

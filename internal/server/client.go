@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"sprout"
+	"sprout/internal/obs"
+)
+
+// Client is a small sproutd client: it submits board documents, retries
+// typed rejections (429/503) with exponential backoff plus jitter —
+// honoring the server's Retry-After hint when present — and polls jobs
+// to their terminal state. The zero value is not usable; NewClient
+// fills the defaults.
+type Client struct {
+	// Base is the server URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+	// MaxAttempts bounds submission retries (default 8).
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the exponential backoff (defaults
+	// 50ms / 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a client with default retry tuning. The seed drives
+// the backoff jitter, so tests replay the same retry schedule.
+func NewClient(base string, seed int64) *Client {
+	return &Client{
+		Base:        base,
+		HTTP:        http.DefaultClient,
+		MaxAttempts: 8,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// JobFailedError is the client-side view of a terminally failed job. It
+// unwraps to the matching typed error (sprout.ErrShuttingDown,
+// context.DeadlineExceeded) so callers keep using errors.Is across the
+// HTTP boundary.
+type JobFailedError struct {
+	Status Status
+}
+
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("job %s failed (%s): %s", e.Status.ID, e.Status.ErrorKind, e.Status.Error)
+}
+
+// Unwrap maps the failure kind back onto the typed errors of the
+// failure-semantics matrix.
+func (e *JobFailedError) Unwrap() error {
+	switch e.Status.ErrorKind {
+	case KindShutdown:
+		return sprout.ErrShuttingDown
+	case KindDeadline:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// Submit posts a board document (boardio JSON schema). Overload and
+// drain rejections are retried up to MaxAttempts with backoff; the
+// idempotency key makes those retries safe — a submission that actually
+// landed is answered from the existing job, not run twice.
+func (c *Client) Submit(ctx context.Context, doc []byte, idemKey string) (Status, error) {
+	var last error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		st, retryAfter, err := c.trySubmit(ctx, doc, idemKey)
+		if err == nil {
+			return st, nil
+		}
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return Status{}, err
+		}
+		last = err
+		if werr := c.sleep(ctx, attempt, retryAfter); werr != nil {
+			return Status{}, fmt.Errorf("client: submit interrupted: %w", werr)
+		}
+	}
+	return Status{}, fmt.Errorf("client: submit gave up after %d attempts: %w", c.maxAttempts(), last)
+}
+
+// retryableError marks a rejection the client should back off and retry.
+type retryableError struct {
+	code int
+	body string
+}
+
+func (e *retryableError) Error() string {
+	return fmt.Sprintf("server rejected submission (HTTP %d): %s", e.code, e.body)
+}
+
+func (c *Client) trySubmit(ctx context.Context, doc []byte, idemKey string) (Status, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(doc))
+	if err != nil {
+		return Status{}, 0, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Status{}, 0, fmt.Errorf("client: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted, http.StatusOK:
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return Status{}, 0, fmt.Errorf("client: decode submit response: %w", err)
+		}
+		return st, 0, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return Status{}, parseRetryAfter(resp), &retryableError{code: resp.StatusCode, body: string(bytes.TrimSpace(body))}
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return Status{}, 0, fmt.Errorf("client: submit rejected (HTTP %d): %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+}
+
+// parseRetryAfter reads the Retry-After hint in seconds (0 when absent
+// or malformed).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleep waits out one backoff step: the server's Retry-After hint when
+// given, otherwise exponential backoff with equal jitter (half fixed,
+// half random) so a fleet of retrying clients decorrelates.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := retryAfter
+	if d <= 0 {
+		step := c.baseBackoff() << attempt
+		if max := c.maxBackoff(); step > max || step <= 0 {
+			step = max
+		}
+		c.mu.Lock()
+		if c.rng == nil {
+			c.rng = rand.New(rand.NewSource(1))
+		}
+		d = step/2 + time.Duration(c.rng.Int63n(int64(step/2)+1))
+		c.mu.Unlock()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.getJSON(ctx, "/v1/jobs/"+id, func(code int, body io.Reader) error {
+		if code != http.StatusOK {
+			return httpError(code, body)
+		}
+		return json.NewDecoder(body).Decode(&st)
+	})
+	return st, err
+}
+
+// Result fetches a terminal job's run report. A non-terminal job
+// returns done=false with no error; a failed job returns a
+// *JobFailedError carrying the terminal status.
+func (c *Client) Result(ctx context.Context, id string) (rep *obs.RunReport, done bool, err error) {
+	err = c.getJSON(ctx, "/v1/jobs/"+id+"/result", func(code int, body io.Reader) error {
+		switch code {
+		case http.StatusOK:
+			done = true
+			rep = &obs.RunReport{}
+			return json.NewDecoder(body).Decode(rep)
+		case http.StatusAccepted:
+			return nil // still queued/running
+		case http.StatusNotFound:
+			return httpError(code, body)
+		default:
+			// Terminal failure: surface the typed status.
+			var st Status
+			if derr := json.NewDecoder(body).Decode(&st); derr != nil {
+				return httpError(code, body)
+			}
+			done = true
+			return &JobFailedError{Status: st}
+		}
+	})
+	return rep, done, err
+}
+
+// WaitResult polls the job until it reaches a terminal state, returning
+// the run report (or the *JobFailedError of a failed job). The context
+// bounds the wait.
+func (c *Client) WaitResult(ctx context.Context, id string, poll time.Duration) (*obs.RunReport, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		rep, done, err := c.Result(ctx, id)
+		if err != nil || done {
+			return rep, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: waiting for job %s: %w", id, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, handle func(code int, body io.Reader) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: get %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return handle(resp.StatusCode, resp.Body)
+}
+
+func httpError(code int, body io.Reader) error {
+	b, _ := io.ReadAll(io.LimitReader(body, 1024))
+	return fmt.Errorf("client: HTTP %d: %s", code, bytes.TrimSpace(b))
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+func (c *Client) baseBackoff() time.Duration {
+	if c.BaseBackoff > 0 {
+		return c.BaseBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return 2 * time.Second
+}

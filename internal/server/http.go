@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"sprout"
+	"sprout/internal/boardio"
+	"sprout/internal/obs"
+)
+
+// maxBodyBytes bounds a board document upload; anything larger is a 413,
+// not an allocation.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the sproutd HTTP API:
+//
+//	POST /v1/jobs              submit a board document (boardio schema)
+//	GET  /v1/jobs/{id}         poll job status
+//	GET  /v1/jobs/{id}/result  fetch the run report of a terminal job
+//	GET  /v1/jobs/{id}/trace   fetch the job's Chrome trace
+//	GET  /healthz              process liveness (always 200)
+//	GET  /readyz               admission readiness (503 while draining)
+//	GET  /metrics              server counters, histograms and gauges
+//
+// Failed jobs surface through /result with the status code of the
+// DESIGN "Failure semantics" matrix: 503 shutdown, 504 deadline,
+// 500 panic/solve/internal.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", e.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", e.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", e.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", e.handleTrace)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Accepting() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	})
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	return mux
+}
+
+// statusFor maps a failure kind to its client-visible HTTP status — one
+// half of the failure-semantics matrix (the submit path's 429/503 is the
+// other half).
+func statusFor(kind ErrKind) int {
+	switch kind {
+	case KindShutdown:
+		return http.StatusServiceUnavailable
+	case KindDeadline:
+		return http.StatusGatewayTimeout
+	default: // panic, solve, internal
+		return http.StatusInternalServerError
+	}
+}
+
+func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec, err := boardio.Decode(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt := SubmitOptions{IdempotencyKey: r.Header.Get("Idempotency-Key")}
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, perr := time.ParseDuration(v)
+		if perr != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: want a positive Go duration", v))
+			return
+		}
+		opt.Timeout = d
+	}
+	opt.WithManual = r.URL.Query().Get("manual") == "1"
+	opt.SkipExtract = r.URL.Query().Get("skip_extract") == "1"
+
+	st, err := e.Submit(dec, opt)
+	switch {
+	case errors.Is(err, sprout.ErrOverloaded):
+		e.writeRetryable(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, sprout.ErrShuttingDown):
+		e.writeRetryable(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	case st.Deduped:
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (e *Engine) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := e.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, rep, _, ok := e.Result(r.PathValue("id"))
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	case !st.State.Terminal():
+		// Not ready yet: 202 tells the client to keep polling.
+		writeJSON(w, http.StatusAccepted, st)
+	case st.State == StateFailed:
+		writeJSON(w, statusFor(st.ErrorKind), st)
+	case rep == nil:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("job %s finished without a report", st.ID))
+	default:
+		writeJSON(w, http.StatusOK, rep)
+	}
+}
+
+func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
+	st, _, tracer, ok := e.Result(r.PathValue("id"))
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	case tracer == nil:
+		// Never started: nothing was traced.
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		if err := tracer.WriteChromeTrace(w); err != nil {
+			e.cfg.Log.Warn("trace write failed", "job", st.ID, "err", err)
+		}
+	}
+}
+
+// Metrics is the /metrics document: the engine gauges plus the server
+// tracer's counters and histograms.
+type Metrics struct {
+	Accepting  bool                            `json:"accepting"`
+	QueueLen   int                             `json:"queue_len"`
+	QueueCap   int                             `json:"queue_cap"`
+	InFlight   int64                           `json:"in_flight"`
+	Workers    int                             `json:"workers"`
+	Counters   map[string]int64                `json:"counters,omitempty"`
+	Histograms map[string]obs.HistogramSummary `json:"histograms,omitempty"`
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	counters, hists := e.cfg.Tracer.MetricsSnapshot()
+	writeJSON(w, http.StatusOK, Metrics{
+		Accepting:  e.Accepting(),
+		QueueLen:   e.QueueLen(),
+		QueueCap:   e.cfg.QueueDepth,
+		InFlight:   e.InFlight(),
+		Workers:    e.cfg.Workers,
+		Counters:   counters,
+		Histograms: hists,
+	})
+}
+
+// writeRetryable writes a typed rejection with the Retry-After hint
+// clients use to pace their backoff.
+func (e *Engine) writeRetryable(w http.ResponseWriter, code int, err error) {
+	secs := int(math.Ceil(e.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, code, err)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,348 @@
+// Package server is sproutd's long-running routing service: a bounded
+// worker pool with admission control in front of the sprout facade,
+// per-job isolation (deadline-derived contexts, panic containment,
+// per-job run reports and traces), an idempotent in-memory job store,
+// and chaos-tested graceful shutdown that drains in-flight work under a
+// bounded deadline.
+//
+// The package deliberately splits the engine (this file: pool,
+// admission, lifecycle) from the HTTP surface (http.go) so the
+// robustness invariants — every accepted job reaches a terminal state,
+// rejection is typed, shutdown is bounded — are testable without a
+// socket.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprout"
+	"sprout/internal/boardio"
+	"sprout/internal/obs"
+)
+
+// Config tunes the engine. The zero value is usable: Normalize fills
+// conservative defaults.
+type Config struct {
+	// Workers is the number of concurrent routing jobs (in-flight limit).
+	Workers int
+	// QueueDepth bounds the admission queue; a submission that finds the
+	// queue full is rejected with sprout.ErrOverloaded (HTTP 429).
+	QueueDepth int
+	// JobTimeout is the default per-job deadline; MaxJobTimeout caps a
+	// client-requested one.
+	JobTimeout    time.Duration
+	MaxJobTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: jobs still running when it
+	// expires are cancelled with sprout.ErrShuttingDown.
+	DrainTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429/503 rejections.
+	RetryAfter time.Duration
+	// Tracer receives the server-wide counters and histograms backing
+	// /metrics (optional; nil disables).
+	Tracer *obs.Tracer
+	// Log receives lifecycle events (optional).
+	Log *slog.Logger
+}
+
+// Normalize fills defaults in place and returns the config.
+func (c Config) Normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.MaxJobTimeout <= 0 {
+		c.MaxJobTimeout = 10 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// routeFunc runs one routing job. Tests substitute it to script worker
+// behavior; production uses sprout.RouteBoardCtx.
+type routeFunc func(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.BoardResult, error)
+
+func defaultRoute(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.BoardResult, error) {
+	return sprout.RouteBoardCtx(ctx, dec.Board, opt)
+}
+
+// Engine is the routing service core. Create with New, start the pool
+// with Start, stop with Shutdown.
+type Engine struct {
+	cfg   Config
+	store *store
+	route routeFunc
+
+	queue    chan *Job
+	draining chan struct{}
+	drainOne sync.Once
+	wg       sync.WaitGroup
+
+	// runCtx parents every job context; stopRun cancels stragglers when
+	// the drain deadline expires.
+	runCtx  context.Context
+	stopRun context.CancelFunc
+
+	accepting atomic.Bool
+	inFlight  atomic.Int64
+}
+
+// New builds an engine; call Start to spin up the workers.
+func New(cfg Config) *Engine {
+	cfg = cfg.Normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:      cfg,
+		store:    newStore(),
+		route:    defaultRoute,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		draining: make(chan struct{}),
+		runCtx:   ctx,
+		stopRun:  cancel,
+	}
+	e.accepting.Store(true)
+	return e
+}
+
+// Start launches the worker pool.
+func (e *Engine) Start() {
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	e.cfg.Log.Info("engine started", "workers", e.cfg.Workers, "queue", e.cfg.QueueDepth)
+}
+
+// Accepting reports whether admission is open (false once shutdown
+// starts) — the /readyz signal.
+func (e *Engine) Accepting() bool { return e.accepting.Load() }
+
+// QueueLen and InFlight are the /metrics gauges.
+func (e *Engine) QueueLen() int                 { return len(e.queue) }
+func (e *Engine) InFlight() int64               { return e.inFlight.Load() }
+func (e *Engine) RetryAfterHint() time.Duration { return e.cfg.RetryAfter }
+
+// SubmitOptions carries the per-submission knobs.
+type SubmitOptions struct {
+	// IdempotencyKey dedupes retried submissions: a key already seen
+	// returns the existing job instead of enqueueing a duplicate.
+	IdempotencyKey string
+	// Timeout overrides the default per-job deadline (capped at
+	// Config.MaxJobTimeout; 0 = default).
+	Timeout time.Duration
+	// WithManual and SkipExtract mirror sprout.RouteOptions.
+	WithManual  bool
+	SkipExtract bool
+}
+
+// Submit runs admission control over a decoded board document. It
+// returns the job's status snapshot, or a typed rejection:
+// sprout.ErrShuttingDown when draining, sprout.ErrOverloaded when the
+// queue is full. Accepted jobs are guaranteed to reach a terminal state.
+func (e *Engine) Submit(dec *boardio.Decoded, opt SubmitOptions) (Status, error) {
+	if !e.accepting.Load() {
+		e.count("server.jobs.rejected_shutdown", 1)
+		return Status{}, sprout.ErrShuttingDown
+	}
+	timeout := opt.Timeout
+	if timeout <= 0 {
+		timeout = e.cfg.JobTimeout
+	}
+	if timeout > e.cfg.MaxJobTimeout {
+		timeout = e.cfg.MaxJobTimeout
+	}
+	ropt := sprout.RouteOptions{
+		Layer:       dec.RoutingLayer,
+		Budgets:     dec.Budgets,
+		Config:      dec.Config,
+		WithManual:  opt.WithManual,
+		SkipExtract: opt.SkipExtract,
+	}
+	job, existing := e.store.create(opt.IdempotencyKey, dec, ropt, timeout, time.Now())
+	if existing {
+		e.count("server.jobs.deduped", 1)
+		st := e.store.status(job)
+		st.Deduped = true
+		return st, nil
+	}
+	select {
+	case e.queue <- job:
+		e.count("server.jobs.accepted", 1)
+		return e.store.status(job), nil
+	default:
+		e.store.drop(job)
+		e.count("server.jobs.rejected_overloaded", 1)
+		return Status{}, sprout.ErrOverloaded
+	}
+}
+
+// Job returns the status snapshot for a job id (ok=false when unknown).
+func (e *Engine) Job(id string) (Status, bool) {
+	j := e.store.get(id)
+	if j == nil {
+		return Status{}, false
+	}
+	return e.store.status(j), true
+}
+
+// Result returns a terminal job's run report and tracer. The bool is
+// false when the job is unknown.
+func (e *Engine) Result(id string) (Status, *obs.RunReport, *obs.Tracer, bool) {
+	j := e.store.get(id)
+	if j == nil {
+		return Status{}, nil, nil, false
+	}
+	rep, tr := e.store.result(j)
+	return e.store.status(j), rep, tr, true
+}
+
+// worker pulls jobs until shutdown; once draining begins it keeps
+// pulling until the queue is empty, then exits.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case j := <-e.queue:
+			e.runJob(j)
+		case <-e.draining:
+			// Drain mode: finish whatever is still queued, never block.
+			for {
+				select {
+				case j := <-e.queue:
+					e.runJob(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runJob executes one job under full isolation: its own deadline-derived
+// context, its own tracer (so the run report and Chrome trace are
+// per-job), and panic containment — a poisoned board marks its own job
+// failed and leaves the process serving.
+func (e *Engine) runJob(j *Job) {
+	tracer := obs.New()
+	doc, opt, ok := e.store.setRunning(j, tracer, time.Now())
+	if !ok {
+		return // already failed by the drain sweep
+	}
+	queueWait := time.Since(j.submitted)
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(e.runCtx, j.timeout)
+	defer cancel()
+	ctx = obs.WithTracer(ctx, tracer)
+
+	start := time.Now()
+	res, err := e.routeContained(ctx, doc, opt)
+	dur := time.Since(start)
+
+	if err != nil && errors.Is(err, context.Canceled) && e.runCtx.Err() != nil {
+		// The server, not the client, cancelled this job: it is a drain
+		// straggler, and its terminal error says so.
+		err = fmt.Errorf("%w: %w", sprout.ErrShuttingDown, err)
+	}
+	var report *obs.RunReport
+	if res != nil {
+		report = res.Report
+	}
+	if !e.store.finish(j, report, err, time.Now()) {
+		return
+	}
+	e.observe("server.job.queue_wait_ms", float64(queueWait.Nanoseconds())/1e6)
+	e.observe("server.job.run_ms", float64(dur.Nanoseconds())/1e6)
+	if err != nil {
+		e.count("server.jobs.failed", 1)
+		e.count("server.jobs.failed_"+string(classify(err)), 1)
+		e.cfg.Log.Warn("job failed", "job", j.id, "board", j.board, "kind", classify(err), "err", err)
+	} else {
+		e.count("server.jobs.done", 1)
+		e.cfg.Log.Info("job done", "job", j.id, "board", j.board, "run_ms", dur.Milliseconds())
+	}
+}
+
+// routeContained invokes the route function with panic containment. The
+// sprout facade already converts its own panics; this second barrier
+// covers everything else on the job path (decode helpers, report
+// assembly, test-injected routes), so no job can crash the pool.
+func (e *Engine) routeContained(ctx context.Context, doc *boardio.Decoded, opt sprout.RouteOptions) (res *sprout.BoardResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.count("server.jobs.panics", 1)
+			err = &sprout.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return e.route(ctx, doc, opt)
+}
+
+// Shutdown drains the engine: admission closes immediately (readyz goes
+// unready), queued and running jobs are given until ctx expires to
+// finish, and stragglers past the deadline are cancelled with
+// sprout.ErrShuttingDown. On return every accepted job is terminal; the
+// store keeps serving results. The returned error is non-nil only when
+// the drain deadline expired and stragglers had to be cancelled.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.accepting.Store(false)
+	e.drainOne.Do(func() { close(e.draining) })
+	e.cfg.Log.Info("draining", "queued", e.QueueLen(), "in_flight", e.InFlight())
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline expired: cancel every in-flight job context. The
+		// pipeline honors cancellation within one iteration (PR 1), so the
+		// pool unwinds promptly.
+		e.stopRun()
+		<-done
+		err = fmt.Errorf("server: drain deadline expired, cancelled stragglers: %w", ctx.Err())
+	}
+	e.stopRun()
+	// Sweep: any job still non-terminal (accepted after the workers
+	// checked the queue, or orphaned in the channel) fails typed rather
+	// than vanishing. This is the zero-loss guarantee.
+	for _, j := range e.store.nonTerminal() {
+		if e.store.finish(j, nil, sprout.ErrShuttingDown, time.Now()) {
+			e.count("server.jobs.failed", 1)
+			e.count("server.jobs.failed_"+string(KindShutdown), 1)
+		}
+	}
+	e.cfg.Log.Info("drained", "err", err)
+	return err
+}
+
+func (e *Engine) count(name string, n int64) {
+	e.cfg.Tracer.Counter(name).Add(n)
+}
+
+func (e *Engine) observe(name string, v float64) {
+	e.cfg.Tracer.Histogram(name).Observe(v)
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sprout"
+	"sprout/internal/boardio"
+	"sprout/internal/obs"
+	"sprout/internal/sparse"
+)
+
+// JobState is the lifecycle state of one routing job.
+type JobState string
+
+const (
+	// StateQueued: accepted by admission control, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is routing the board.
+	StateRunning JobState = "running"
+	// StateDone: terminal, result available.
+	StateDone JobState = "done"
+	// StateFailed: terminal, the job ended with a typed error.
+	StateFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final. Every accepted job must
+// reach a terminal state — that is the server's zero-loss invariant,
+// asserted by the chaos test.
+func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// ErrKind classifies a job failure for the HTTP layer; the mapping to
+// client-visible status codes is the DESIGN "Failure semantics" matrix.
+type ErrKind string
+
+const (
+	// KindDeadline: the per-job deadline expired (504).
+	KindDeadline ErrKind = "deadline"
+	// KindShutdown: the server drained or cancelled the job while
+	// shutting down (503).
+	KindShutdown ErrKind = "shutdown"
+	// KindPanic: a contained internal panic (500).
+	KindPanic ErrKind = "panic"
+	// KindSolve: every rung of the solver fallback ladder failed (500).
+	KindSolve ErrKind = "solve"
+	// KindInternal: any other routing failure (500).
+	KindInternal ErrKind = "internal"
+)
+
+// classify maps a job error to its ErrKind. Order matters: shutdown and
+// deadline are checked before the generic unwrap chains.
+func classify(err error) ErrKind {
+	switch {
+	case errors.Is(err, sprout.ErrShuttingDown), errors.Is(err, context.Canceled):
+		// Only the server cancels a job context, and it only does so while
+		// draining; a bare Canceled is therefore a shutdown casualty.
+		return KindShutdown
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindDeadline
+	}
+	var pe *sprout.PanicError
+	if errors.As(err, &pe) {
+		return KindPanic
+	}
+	var se *sparse.SolveError
+	if errors.As(err, &se) {
+		return KindSolve
+	}
+	return KindInternal
+}
+
+// Job is one accepted routing request and its outcome. Fields are
+// written under the store lock; callers receive copies via Status.
+type Job struct {
+	id      string
+	idemKey string
+	state   JobState
+	board   string
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	err  error
+	kind ErrKind
+
+	// doc and opt are the decoded request, consumed by the worker.
+	doc *boardio.Decoded
+	opt sprout.RouteOptions
+	// timeout is the per-job deadline.
+	timeout time.Duration
+	// report is the per-job machine-readable run summary (nil until
+	// done; a failed run may still carry a partial tracer).
+	report *obs.RunReport
+	// tracer is the job's private tracer, kept so the Chrome trace of
+	// the run — successful or failed — can be fetched afterwards.
+	tracer *obs.Tracer
+}
+
+// Status is the JSON-facing snapshot of a job.
+type Status struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Board string   `json:"board,omitempty"`
+	// Deduped marks a submission that was answered from an existing job
+	// via its idempotency key.
+	Deduped bool `json:"deduped,omitempty"`
+	// Error and ErrorKind are set on failed jobs.
+	Error     string  `json:"error,omitempty"`
+	ErrorKind ErrKind `json:"error_kind,omitempty"`
+	// Durations in milliseconds (0 until the phase completes).
+	QueueMS float64 `json:"queue_ms,omitempty"`
+	RunMS   float64 `json:"run_ms,omitempty"`
+}
+
+// store is the idempotent in-memory job table. It outlives the worker
+// pool: results stay fetchable after the drain so clients can collect
+// the outcome of every accepted job.
+type store struct {
+	mu    sync.Mutex
+	next  int
+	jobs  map[string]*Job
+	byKey map[string]string // idempotency key -> job id
+}
+
+func newStore() *store {
+	return &store{jobs: map[string]*Job{}, byKey: map[string]string{}}
+}
+
+// create registers a new queued job, or returns the existing one when
+// the idempotency key has been seen before (existing=true). The caller
+// must remove the job with drop if admission subsequently rejects it.
+func (s *store) create(idemKey string, doc *boardio.Decoded, opt sprout.RouteOptions, timeout time.Duration, now time.Time) (j *Job, existing bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idemKey != "" {
+		if id, ok := s.byKey[idemKey]; ok {
+			return s.jobs[id], true
+		}
+	}
+	s.next++
+	j = &Job{
+		id:        fmt.Sprintf("job-%d", s.next),
+		idemKey:   idemKey,
+		state:     StateQueued,
+		board:     doc.Board.Name,
+		submitted: now,
+		doc:       doc,
+		opt:       opt,
+		timeout:   timeout,
+	}
+	s.jobs[j.id] = j
+	if idemKey != "" {
+		s.byKey[idemKey] = j.id
+	}
+	return j, false
+}
+
+// drop removes a job that was never accepted (queue full). Dropping is
+// not loss: the submitter got a 429 and knows to retry.
+func (s *store) drop(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, j.id)
+	if j.idemKey != "" {
+		delete(s.byKey, j.idemKey)
+	}
+}
+
+// get returns the job by id (nil when unknown).
+func (s *store) get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// setRunning transitions a queued job to running and hands the worker
+// its payload. Returns ok=false when the job already reached a terminal
+// state (e.g. failed by the drain sweep racing the worker), in which
+// case the worker must not run it. The payload is read under the store
+// lock so the worker never touches fields a finish may clear.
+func (s *store) setRunning(j *Job, tracer *obs.Tracer, now time.Time) (doc *boardio.Decoded, opt sprout.RouteOptions, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return nil, sprout.RouteOptions{}, false
+	}
+	j.state = StateRunning
+	j.started = now
+	j.tracer = tracer
+	return j.doc, j.opt, true
+}
+
+// finish transitions a job to its terminal state exactly once; late
+// writers (a worker completing after the drain sweep already failed the
+// job) are dropped, keeping the first terminal outcome authoritative.
+func (s *store) finish(j *Job, report *obs.RunReport, err error, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.finished = now
+	j.report = report
+	// The decoded board is dead weight once the job is terminal; free it
+	// so a long-lived server does not accumulate every board ever routed.
+	j.doc = nil
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		j.kind = classify(err)
+	} else {
+		j.state = StateDone
+	}
+	return true
+}
+
+// nonTerminal snapshots every job that has not reached a terminal state.
+func (s *store) nonTerminal() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, j := range s.jobs {
+		if !j.state.Terminal() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// status snapshots a job for the HTTP layer.
+func (s *store) status(j *Job) Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{ID: j.id, State: j.state, Board: j.board}
+	if j.err != nil {
+		st.Error = j.err.Error()
+		st.ErrorKind = j.kind
+	}
+	if !j.started.IsZero() {
+		st.QueueMS = float64(j.started.Sub(j.submitted).Nanoseconds()) / 1e6
+		if !j.finished.IsZero() {
+			st.RunMS = float64(j.finished.Sub(j.started).Nanoseconds()) / 1e6
+		}
+	} else if !j.finished.IsZero() {
+		// Never started: failed straight from the queue (drain sweep).
+		st.QueueMS = float64(j.finished.Sub(j.submitted).Nanoseconds()) / 1e6
+	}
+	return st
+}
+
+// result returns the job's report and tracer (both may be nil).
+func (s *store) result(j *Job) (*obs.RunReport, *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.report, j.tracer
+}
