@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-exp fig8|table2|table3|table4|fig12|multilayer|runtime|ablation|all] [-out dir]
+//	experiments [-exp fig8|table2|table3|table4|fig12|multilayer|runtime|ablation|explore|all] [-out dir]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig8, table2, table3, table4, fig12, multilayer, runtime, ablation, heatmaps, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig8, table2, table3, table4, fig12, multilayer, runtime, ablation, heatmaps, explore, all)")
 	out := flag.String("out", "", "directory for layout SVGs (created if missing)")
 	flag.Parse()
 
@@ -58,6 +58,8 @@ func main() {
 		_, err = experiments.Ablation(w)
 	case "heatmaps":
 		_, err = experiments.Heatmaps(w, *out)
+	case "explore":
+		_, err = experiments.Explore(w)
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
 		flag.Usage()

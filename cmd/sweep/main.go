@@ -6,9 +6,14 @@
 // Usage:
 //
 //	sweep [-steps n] [-min f] [-max f] [-out dir]
+//	      [-explore] [-explore-workers n] [-explore-seq]
 //
 // -min and -max scale the modem/CPU normalized area (DSP uses a quarter of
-// the schedule, as in Table IV).
+// the schedule, as in Table IV). With -explore each layout additionally
+// sweeps the net routing order over the shared permutation tree and keeps
+// the best order (lowest current-weighted resistance); -explore-workers
+// bounds the explorer pool and -explore-seq forces the sequential
+// reference path.
 package main
 
 import (
@@ -26,15 +31,26 @@ func main() {
 	minA := flag.Float64("min", 15, "minimum modem/CPU area (normalized units)")
 	maxA := flag.Float64("max", 35, "maximum modem/CPU area (normalized units)")
 	outDir := flag.String("out", "", "directory for layout SVGs")
+	explore := flag.Bool("explore", false, "sweep net routing orders per layout and keep the best")
+	exploreWorkers := flag.Int("explore-workers", 0, "explorer worker-pool bound (0 = GOMAXPROCS)")
+	exploreSeq := flag.Bool("explore-seq", false, "force the sequential explorer reference path")
 	flag.Parse()
 
-	if err := run(*steps, *minA, *maxA, *outDir); err != nil {
+	opt := exploreOpts{on: *explore, workers: *exploreWorkers, sequential: *exploreSeq}
+	if err := run(*steps, *minA, *maxA, *outDir, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(steps int, minA, maxA float64, outDir string) error {
+// exploreOpts bundles the order-exploration flags.
+type exploreOpts struct {
+	on         bool
+	workers    int
+	sequential bool
+}
+
+func run(steps int, minA, maxA float64, outDir string, ex exploreOpts) error {
 	if steps < 2 {
 		return fmt.Errorf("need at least 2 steps, got %d", steps)
 	}
@@ -56,14 +72,30 @@ func run(steps int, minA, maxA float64, outDir string) error {
 		if err != nil {
 			return err
 		}
-		res, err := sprout.RouteBoard(cs.Board, sprout.RouteOptions{
+		ropt := sprout.RouteOptions{
 			Layer:    cs.RoutingLayer,
 			Budgets:  cs.Budgets,
 			Config:   cs.Config,
 			FailFast: true,
-		})
-		if err != nil {
-			return fmt.Errorf("layout %d: %w", i+1, err)
+		}
+		var res *sprout.BoardResult
+		if ex.on {
+			ropt.ExploreWorkers = ex.workers
+			ropt.ExploreSequential = ex.sequential
+			exp, err := sprout.ExploreNetOrders(cs.Board, ropt)
+			if err != nil {
+				return fmt.Errorf("layout %d: %w", i+1, err)
+			}
+			fmt.Printf("layout %d: best order %v (score %.6g, %d/%d orders ok, prefix cache %d hit / %d miss)\n",
+				i+1, exp.BestOrder, exp.BestScore, exp.Tried, exp.Stats.Orders,
+				exp.Stats.PrefixHits, exp.Stats.PrefixMisses)
+			res = exp.Best
+		} else {
+			var err error
+			res, err = sprout.RouteBoard(cs.Board, ropt)
+			if err != nil {
+				return fmt.Errorf("layout %d: %w", i+1, err)
+			}
 		}
 		for _, rail := range res.Rails {
 			net, err := cs.Board.Net(rail.Net)

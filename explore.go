@@ -2,9 +2,32 @@ package sprout
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 
 	"sprout/internal/board"
+	"sprout/internal/sparse"
+)
+
+// Error kinds recorded in OrderError.Kind, classifying why an order
+// failed. The explorer routes with FailFast, so most failures are
+// KindRoute (an order stranded a net); the rest distinguish aborts the
+// caller usually wants to handle differently.
+const (
+	// OrderKindCanceled: the order was interrupted mid-board by context
+	// cancellation.
+	OrderKindCanceled = "canceled"
+	// OrderKindDeadline: the order was interrupted mid-board by deadline
+	// expiry.
+	OrderKindDeadline = "deadline"
+	// OrderKindPanic: a contained panic poisoned the order.
+	OrderKindPanic = "panic"
+	// OrderKindSolve: the solver fallback ladder was exhausted.
+	OrderKindSolve = "solve"
+	// OrderKindRoute: the routing pipeline failed (typically a stranded
+	// net under this order).
+	OrderKindRoute = "route"
 )
 
 // OrderError records one net ordering that failed to route.
@@ -13,6 +36,38 @@ type OrderError struct {
 	Order []board.NetID
 	// Err is why the order failed.
 	Err error
+	// FailedNet is the rail whose pipeline failed, when the failure is
+	// attributable to one (board.NetNone otherwise — e.g. cancellation
+	// between rails).
+	FailedNet board.NetID
+	// Kind classifies the failure (see the OrderKind constants).
+	Kind string
+}
+
+// OrderScore records the score of one successfully evaluated order, in
+// trial order. The explorer's determinism contract pins this list: both
+// explorer paths evaluate the same orders to the same scores.
+type OrderScore struct {
+	Order []board.NetID
+	Score float64
+}
+
+// ExploreStats reports how an exploration ran. Unlike the rest of
+// OrderExploration it is not part of the determinism contract: the two
+// explorer paths report different Workers/Parallel/cache numbers for
+// identical routing results.
+type ExploreStats struct {
+	// Orders is the number of orderings enumerated.
+	Orders int
+	// Workers is the worker-pool bound used (1 for the sequential path).
+	Workers int
+	// Parallel reports which explorer path ran.
+	Parallel bool
+	// PrefixHits counts rail routes skipped because a memoized prefix
+	// snapshot already covered them; PrefixMisses counts rail routes
+	// actually performed. Sequential-equivalent work is Hits+Misses.
+	PrefixHits   int64
+	PrefixMisses int64
 }
 
 // OrderExploration is the outcome of trying several net routing orders.
@@ -27,8 +82,15 @@ type OrderExploration struct {
 	Tried int
 	// Failed records every order that did not route, in trial order. An
 	// order that strands a later net is simply worse, so failures are not
-	// fatal as long as some order succeeds.
+	// fatal as long as some order succeeds. An order interrupted
+	// mid-board by cancellation is recorded here too (Kind
+	// canceled/deadline) before the explorer returns the context error.
 	Failed []OrderError
+	// Evaluated records the score of every successful order, in trial
+	// order.
+	Evaluated []OrderScore
+	// Stats reports pool size and prefix-cache effectiveness.
+	Stats ExploreStats
 }
 
 // ExploreNetOrders explores net orderings without cancellation support;
@@ -42,8 +104,17 @@ func ExploreNetOrders(b *board.Board, opt RouteOptions) (*OrderExploration, erro
 // Sequential routing gives earlier nets first claim on shared space, so the
 // order is a genuine design variable — this is the paper's Fig. 2
 // exploration loop applied to a parameter the paper leaves implicit. For up
-// to four nets every permutation is tried; beyond that, all rotations of
-// the id order.
+// to four nets (or always, with opt.ExploreAllOrders) every permutation is
+// tried in lexicographic order; beyond that, all rotations of the id
+// order. opt.ExploreMaxOrders truncates the sweep.
+//
+// Orders are explored over a shared permutation tree with a bounded
+// worker pool (opt.ExploreWorkers, default GOMAXPROCS): orders that share
+// a prefix share the routed prefix snapshot, so each distinct prefix is
+// routed once (see DESIGN.md "Exploration scaling"). The result is
+// bit-identical to routing every order sequentially from scratch —
+// opt.ExploreSequential forces that reference path, and the differential
+// test suite holds the two to byte equality.
 //
 // Each order is routed with FailFast enabled so that an order which
 // strands a net registers as a failed order (collected in Failed) rather
@@ -61,44 +132,14 @@ func ExploreNetOrdersCtx(ctx context.Context, b *board.Board, opt RouteOptions) 
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("sprout: no routable nets on layer %d", opt.Layer)
 	}
-	var orders [][]board.NetID
-	if len(ids) <= 4 {
-		orders = permutations(ids)
+	orders := exploreOrders(ids, opt)
+	if opt.ExploreSequential {
+		out, err = exploreSequential(ctx, b, opt, orders)
 	} else {
-		for shift := range ids {
-			rot := make([]board.NetID, 0, len(ids))
-			rot = append(rot, ids[shift:]...)
-			rot = append(rot, ids[:shift]...)
-			orders = append(orders, rot)
-		}
+		out, err = exploreParallel(ctx, b, opt, orders)
 	}
-
-	out = &OrderExploration{}
-	for _, order := range orders {
-		if cerr := ctx.Err(); cerr != nil {
-			return out, cerr
-		}
-		runOpt := opt
-		runOpt.Order = order
-		runOpt.FailFast = true
-		res, rerr := RouteBoardCtx(ctx, b, runOpt)
-		if rerr != nil {
-			if isCtxErr(rerr) {
-				return out, rerr
-			}
-			out.Failed = append(out.Failed, OrderError{Order: order, Err: rerr})
-			continue
-		}
-		out.Tried++
-		score, serr := weightedResistance(b, res)
-		if serr != nil {
-			return out, serr
-		}
-		if out.Best == nil || score < out.BestScore {
-			out.Best = res
-			out.BestScore = score
-			out.BestOrder = order
-		}
+	if err != nil {
+		return out, err
 	}
 	if out.Best == nil {
 		if len(out.Failed) > 0 {
@@ -108,6 +149,124 @@ func ExploreNetOrdersCtx(ctx context.Context, b *board.Board, opt RouteOptions) 
 		return out, fmt.Errorf("sprout: no net order routed successfully")
 	}
 	return out, nil
+}
+
+// exploreOrders enumerates the orderings to try: lexicographic
+// permutations for small boards (or when forced), rotations otherwise,
+// truncated at opt.ExploreMaxOrders. Lexicographic enumeration maximizes
+// shared prefixes between consecutive orders, which is what the prefix
+// tree memoizes; it is deterministic, so a truncated sweep is a
+// reproducible prefix of the full one.
+func exploreOrders(ids []board.NetID, opt RouteOptions) [][]board.NetID {
+	max := opt.ExploreMaxOrders
+	if len(ids) <= 4 || opt.ExploreAllOrders {
+		return lexPermutations(ids, max)
+	}
+	var orders [][]board.NetID
+	for shift := range ids {
+		if max > 0 && len(orders) >= max {
+			break
+		}
+		rot := make([]board.NetID, 0, len(ids))
+		rot = append(rot, ids[shift:]...)
+		rot = append(rot, ids[:shift]...)
+		orders = append(orders, rot)
+	}
+	return orders
+}
+
+// lexPermutations enumerates permutations of ids in lexicographic order
+// of positions, stopping after max orders (0 = all).
+func lexPermutations(ids []board.NetID, max int) [][]board.NetID {
+	base := append([]board.NetID(nil), ids...)
+	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+	var out [][]board.NetID
+	used := make([]bool, len(base))
+	perm := make([]board.NetID, 0, len(base))
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == len(base) {
+			out = append(out, append([]board.NetID(nil), perm...))
+			return max > 0 && len(out) >= max
+		}
+		for i, id := range base {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, id)
+			if rec() {
+				return true
+			}
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+		return false
+	}
+	rec()
+	return out
+}
+
+// exploreSequential is the retained reference explorer: one order at a
+// time, each routed from scratch through RouteBoardCtx. The parallel
+// explorer is proven equivalent to this loop; keep the selection logic
+// here in lockstep with exploreParallel's reduction.
+func exploreSequential(ctx context.Context, b *board.Board, opt RouteOptions, orders [][]board.NetID) (*OrderExploration, error) {
+	out := &OrderExploration{Stats: ExploreStats{Orders: len(orders), Workers: 1}}
+	for _, order := range orders {
+		if cerr := ctx.Err(); cerr != nil {
+			return out, cerr
+		}
+		runOpt := opt
+		runOpt.Order = order
+		runOpt.FailFast = true
+		res, rerr := RouteBoardCtx(ctx, b, runOpt)
+		if rerr != nil {
+			// Every failed order lands in Failed with its kind — including
+			// one interrupted mid-board, so a cancelled sweep still reports
+			// which order was in flight when the context fired.
+			out.Failed = append(out.Failed, orderError(order, rerr))
+			if isCtxErr(rerr) {
+				return out, rerr
+			}
+			continue
+		}
+		out.Tried++
+		score, serr := weightedResistance(b, res)
+		if serr != nil {
+			return out, serr
+		}
+		out.Evaluated = append(out.Evaluated, OrderScore{Order: order, Score: score})
+		if out.Best == nil || score < out.BestScore {
+			out.Best = res
+			out.BestScore = score
+			out.BestOrder = order
+		}
+	}
+	return out, nil
+}
+
+// orderError builds the Failed record for one order, classifying the
+// error and attributing it to the failing rail when possible.
+func orderError(order []board.NetID, err error) OrderError {
+	oe := OrderError{Order: order, Err: err, FailedNet: board.NetNone, Kind: OrderKindRoute}
+	var re *RailError
+	if errors.As(err, &re) {
+		oe.FailedNet = re.Net
+	}
+	var pe *PanicError
+	var se *sparse.SolveError
+	switch {
+	case errors.Is(err, context.Canceled):
+		oe.Kind = OrderKindCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		oe.Kind = OrderKindDeadline
+	case errors.As(err, &pe):
+		oe.Kind = OrderKindPanic
+	case errors.As(err, &se):
+		oe.Kind = OrderKindSolve
+	}
+	return oe
 }
 
 // weightedResistance scores a routed board: Σ I_net · R_net, an IR-drop
@@ -129,28 +288,4 @@ func weightedResistance(b *board.Board, res *BoardResult) (float64, error) {
 		score += w * rail.Extract.ResistanceOhms
 	}
 	return score, nil
-}
-
-// permutations enumerates all orderings of ids (Heap's algorithm,
-// deterministic order).
-func permutations(ids []board.NetID) [][]board.NetID {
-	var out [][]board.NetID
-	perm := append([]board.NetID(nil), ids...)
-	var rec func(k int)
-	rec = func(k int) {
-		if k == 1 {
-			out = append(out, append([]board.NetID(nil), perm...))
-			return
-		}
-		for i := 0; i < k; i++ {
-			rec(k - 1)
-			if k%2 == 0 {
-				perm[i], perm[k-1] = perm[k-1], perm[i]
-			} else {
-				perm[0], perm[k-1] = perm[k-1], perm[0]
-			}
-		}
-	}
-	rec(len(perm))
-	return out
 }

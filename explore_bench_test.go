@@ -1,0 +1,82 @@
+package sprout_test
+
+// Explorer benchmarks: the same 24-order sweep of the six-rail board
+// through the sequential reference path and the parallel prefix-tree
+// path, with the cache on and off. On a single-core runner the speedup
+// comes almost entirely from memoization — the permutation tree routes
+// each shared prefix once — so the cache/nocache split isolates that
+// effect from pool scheduling. Custom metrics report the cache traffic:
+// rail-routes/op is the number of rail routes actually performed,
+// prefix-hits/op the number a sequential sweep would have repeated.
+//
+// Committed results live in BENCH_pr5.json; regenerate with
+//
+//	go test -run='^$' -bench=BenchmarkExplore -benchtime=1x -count=3 .
+
+import (
+	"testing"
+
+	"sprout"
+	"sprout/internal/cases"
+)
+
+// benchExploreOptions is the full factorial sweep of the first four
+// six-rail nets (lexicographic truncation at 24 orders = 4! complete
+// subtrees), the same workload pinned in BENCH_pr5.json.
+func benchExploreOptions(cs *cases.CaseStudy) sprout.RouteOptions {
+	return sprout.RouteOptions{
+		Layer:            cs.RoutingLayer,
+		Budgets:          cs.Budgets,
+		Config:           cs.Config,
+		ExploreAllOrders: true,
+		ExploreMaxOrders: 24,
+	}
+}
+
+func benchExplore(b *testing.B, opt func(*cases.CaseStudy) sprout.RouteOptions) {
+	b.Helper()
+	cs, err := cases.SixRail()
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := opt(cs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stats sprout.ExploreStats
+	for i := 0; i < b.N; i++ {
+		ex, err := sprout.ExploreNetOrders(cs.Board, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ex.Best == nil {
+			b.Fatal("no winner")
+		}
+		stats = ex.Stats
+	}
+	b.ReportMetric(float64(stats.Orders), "orders/op")
+	if stats.Parallel {
+		b.ReportMetric(float64(stats.PrefixHits), "prefix-hits/op")
+		b.ReportMetric(float64(stats.PrefixMisses), "rail-routes/op")
+	}
+}
+
+func BenchmarkExploreSequential(b *testing.B) {
+	benchExplore(b, func(cs *cases.CaseStudy) sprout.RouteOptions {
+		o := benchExploreOptions(cs)
+		o.ExploreSequential = true
+		return o
+	})
+}
+
+func BenchmarkExploreParallel(b *testing.B) {
+	b.Run("cache", func(b *testing.B) {
+		benchExplore(b, benchExploreOptions)
+	})
+	b.Run("nocache", func(b *testing.B) {
+		benchExplore(b, func(cs *cases.CaseStudy) sprout.RouteOptions {
+			o := benchExploreOptions(cs)
+			o.ExploreNoPrefixCache = true
+			return o
+		})
+	})
+}

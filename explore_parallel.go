@@ -1,0 +1,334 @@
+package sprout
+
+import (
+	"context"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprout/internal/board"
+	"sprout/internal/obs"
+)
+
+// prefixNode is one node of the shared permutation tree. The path from
+// the root to a node spells a routing-order prefix; the node's snapshot
+// (computed once, by routeNext on top of its parent's snapshot) is shared
+// by every order passing through it. With memoization disabled each order
+// gets a private chain, so the tree degenerates into |orders| disjoint
+// paths and every rail routes from scratch.
+type prefixNode struct {
+	// net is the rail routed at this node (board.NetNone at the root,
+	// which represents the empty prefix).
+	net      board.NetID
+	children []*prefixNode
+	// leaf is the index of the order completed at this node (-1 when the
+	// node is a proper prefix of every order through it).
+	leaf int
+	// leaves counts the orders whose path passes through this node — the
+	// number of sequential rail routes this node's single route replaces.
+	leaves int
+	depth  int
+	// first is the enumeration index of the earliest order through this
+	// node; the pool scheduler uses it to prefer enumeration-order work.
+	first int
+}
+
+// buildPrefixTree folds the orders into a prefix tree. Orders are
+// inserted in enumeration order and children keep first-insertion order,
+// so the tree shape is deterministic.
+func buildPrefixTree(orders [][]board.NetID, memoize bool) *prefixNode {
+	root := &prefixNode{net: board.NetNone, leaf: -1}
+	for idx, order := range orders {
+		node := root
+		node.leaves++
+		for _, id := range order {
+			var child *prefixNode
+			if memoize {
+				for _, c := range node.children {
+					if c.net == id {
+						child = c
+						break
+					}
+				}
+			}
+			if child == nil {
+				child = &prefixNode{net: id, leaf: -1, depth: node.depth + 1, first: idx}
+				node.children = append(node.children, child)
+			}
+			child.leaves++
+			node = child
+		}
+		node.leaf = idx
+	}
+	return root
+}
+
+// orderOutcome is the terminal state of one enumerated order: the fully
+// routed snapshot, or the error that killed its branch. Each outcome slot
+// has exactly one writer — the unique tree path ending at its leaf — so
+// the slice needs no lock; the slot's ready channel is closed after the
+// write, publishing it to the reducer.
+type orderOutcome struct {
+	state *routeState
+	err   error
+}
+
+// semWaiter is one goroutine queued on the priority semaphore.
+type semWaiter struct {
+	prio int
+	ch   chan struct{}
+}
+
+// prioSem is a counting semaphore whose release wakes the waiter with
+// the smallest priority value. The explorer keys waiters by their
+// subtree's first enumeration index, so freed pool slots go to the
+// earliest pending orders: leaves then settle in near-enumeration order
+// and the reducer retires their snapshots immediately instead of letting
+// out-of-order boards accumulate (live heap, hence GC mark cost, stays
+// close to the sequential explorer's). Scheduling never affects results
+// — only memory — because every outcome is a pure function of its order.
+type prioSem struct {
+	mu      sync.Mutex
+	free    int
+	waiters []semWaiter
+}
+
+func newPrioSem(n int) *prioSem { return &prioSem{free: n} }
+
+func (s *prioSem) acquire(prio int) {
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		s.mu.Unlock()
+		return
+	}
+	w := semWaiter{prio: prio, ch: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	<-w.ch
+}
+
+func (s *prioSem) release() {
+	s.mu.Lock()
+	if len(s.waiters) == 0 {
+		s.free++
+		s.mu.Unlock()
+		return
+	}
+	min := 0
+	for i := range s.waiters {
+		if s.waiters[i].prio < s.waiters[min].prio {
+			min = i
+		}
+	}
+	w := s.waiters[min]
+	s.waiters = append(s.waiters[:min], s.waiters[min+1:]...)
+	s.mu.Unlock()
+	close(w.ch)
+}
+
+// explorer walks the permutation tree with a bounded worker pool. The
+// semaphore bounds concurrent routeNext calls (the expensive part);
+// goroutines themselves are cheap and one exists per in-flight subtree.
+type explorer struct {
+	run      *boardRun
+	nets     map[board.NetID]board.Net
+	sem      *prioSem
+	wg       sync.WaitGroup
+	outcomes []orderOutcome
+	// ready[i] is closed once outcomes[i] is written, letting the reducer
+	// consume (and release) leaf states while the walk is still running.
+	ready  []chan struct{}
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// settle publishes a leaf outcome to the reducer.
+func (x *explorer) settle(leaf int, oc orderOutcome) {
+	x.outcomes[leaf] = oc
+	close(x.ready[leaf])
+}
+
+// exec routes node's rail on top of the parent snapshot (root: no rail),
+// records the outcome if an order completes here, and branches into the
+// children. The snapshot handed to children is immutable, so sibling
+// subtrees extend it concurrently without synchronization.
+//
+// The pool token is held from a node's route down through its first
+// child's subtree (siblings go to fresh goroutines that acquire their
+// own). Under a saturated pool this makes the walk depth-first: orders
+// complete early and in near-enumeration order, so the reducer retires
+// their snapshots while sibling branches are still queued — the walk's
+// live heap stays close to one chain, not one tree.
+func (x *explorer) exec(ctx context.Context, node *prefixNode, parent *routeState, held bool) {
+	state := parent
+	if node.net != board.NetNone {
+		if !held {
+			x.sem.acquire(node.first)
+			held = true
+		}
+		net := x.nets[node.net]
+		nctx, sp := obs.StartSpan(ctx, "ExploreNode",
+			obs.A("net", net.Name), obs.A("depth", node.depth), obs.A("orders", node.leaves))
+		next, err := x.routeNode(nctx, parent, net)
+		sp.Fail(err)
+		sp.End()
+		// One real route served node.leaves sequential-equivalent routes.
+		x.misses.Add(1)
+		x.hits.Add(int64(node.leaves - 1))
+		if err != nil {
+			x.sem.release()
+			x.failSubtree(node, err)
+			return
+		}
+		state = next
+	}
+	if node.leaf >= 0 {
+		x.settle(node.leaf, orderOutcome{state: state})
+	}
+	if len(node.children) == 0 {
+		if held {
+			x.sem.release()
+		}
+		return
+	}
+	for _, child := range node.children[1:] {
+		child := child
+		x.wg.Add(1)
+		go func() {
+			defer x.wg.Done()
+			x.exec(ctx, child, state, false)
+		}()
+	}
+	x.exec(ctx, node.children[0], state, held)
+}
+
+// routeNode is routeNext with per-node panic containment: a poisoned
+// board fails its own subtree (exactly the orders a sequential run of the
+// same prefix would have poisoned) and leaves the rest of the tree
+// routing.
+func (x *explorer) routeNode(ctx context.Context, parent *routeState, net board.Net) (state *routeState, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return x.run.routeNext(ctx, parent, net)
+}
+
+// failSubtree marks every order under node as failed with err. Only the
+// failing node's goroutine touches these leaves (each leaf has a unique
+// path), so the writes are unsynchronized single-writer.
+func (x *explorer) failSubtree(node *prefixNode, err error) {
+	if node.leaf >= 0 {
+		x.settle(node.leaf, orderOutcome{err: err})
+	}
+	for _, c := range node.children {
+		x.failSubtree(c, err)
+	}
+}
+
+// exploreParallel explores the orders over the shared permutation tree,
+// then reduces the outcomes in enumeration order with selection logic
+// identical to exploreSequential — which is what makes the two paths
+// bit-identical on completed runs regardless of goroutine scheduling:
+// every per-order result is a deterministic function of its order alone
+// (immutable snapshots, deterministic pipeline), and the winner is picked
+// by the same first-strictly-better scan over the same sequence.
+func exploreParallel(ctx context.Context, b *board.Board, opt RouteOptions, orders [][]board.NetID) (*OrderExploration, error) {
+	workers := opt.ExploreWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := &OrderExploration{Stats: ExploreStats{Orders: len(orders), Workers: workers, Parallel: true}}
+	if cerr := ctx.Err(); cerr != nil {
+		return out, cerr
+	}
+	runOpt := opt
+	runOpt.FailFast = true
+	run, err := newBoardRun(b, runOpt)
+	if err != nil {
+		return out, err
+	}
+	nets := map[board.NetID]board.Net{}
+	for _, order := range orders {
+		for _, id := range order {
+			if _, ok := nets[id]; ok {
+				continue
+			}
+			n, nerr := b.Net(id)
+			if nerr != nil {
+				return out, nerr
+			}
+			nets[id] = n
+		}
+	}
+
+	start := time.Now()
+	tr := obs.FromContext(ctx)
+	tr.Counter("explore.orders").Add(int64(len(orders)))
+	tr.Gauge("explore.workers").Set(int64(workers))
+
+	root := buildPrefixTree(orders, !opt.ExploreNoPrefixCache)
+	x := &explorer{
+		run:      run,
+		nets:     nets,
+		sem:      newPrioSem(workers),
+		outcomes: make([]orderOutcome, len(orders)),
+		ready:    make([]chan struct{}, len(orders)),
+	}
+	for i := range x.ready {
+		x.ready[i] = make(chan struct{})
+	}
+	x.wg.Add(1)
+	go func() {
+		defer x.wg.Done()
+		x.exec(ctx, root, newRouteState(), false)
+	}()
+
+	// Reduction: enumeration order, sequential selection logic — keep in
+	// lockstep with exploreSequential. It runs concurrently with the walk,
+	// consuming each leaf as its ready channel closes and dropping the
+	// snapshot immediately: losers become garbage while later branches are
+	// still routing, which keeps the walk's live heap (and GC mark cost)
+	// near the sequential explorer's.
+	var retErr error
+	for i, order := range orders {
+		<-x.ready[i]
+		oc := x.outcomes[i]
+		x.outcomes[i] = orderOutcome{}
+		if oc.err != nil {
+			out.Failed = append(out.Failed, orderError(order, oc.err))
+			if isCtxErr(oc.err) {
+				retErr = oc.err
+				break
+			}
+			continue
+		}
+		res, ferr := run.finalize(ctx, oc.state, start)
+		if ferr != nil {
+			out.Failed = append(out.Failed, orderError(order, ferr))
+			continue
+		}
+		out.Tried++
+		score, serr := weightedResistance(b, res)
+		if serr != nil {
+			retErr = serr
+			break
+		}
+		out.Evaluated = append(out.Evaluated, OrderScore{Order: order, Score: score})
+		if out.Best == nil || score < out.BestScore {
+			out.Best = res
+			out.BestScore = score
+			out.BestOrder = order
+		}
+	}
+	x.wg.Wait()
+	out.Stats.PrefixHits = x.hits.Load()
+	out.Stats.PrefixMisses = x.misses.Load()
+	tr.Counter("explore.prefix.hits").Add(out.Stats.PrefixHits)
+	tr.Counter("explore.prefix.misses").Add(out.Stats.PrefixMisses)
+	return out, retErr
+}

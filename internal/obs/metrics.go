@@ -13,6 +13,13 @@ type Counter struct {
 	v atomic.Int64
 }
 
+// Gauge is a last-value int64 metric (e.g. worker-pool size), safe for
+// concurrent use. Unlike a Counter it can move both ways; the snapshot
+// reports the most recently set value. The nil gauge is a safe no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
 // histBounds are the fixed histogram bucket upper bounds (powers of four
 // cover both CG iteration counts and Laplacian nnz ranges); the final
 // implicit bucket is +Inf.
@@ -62,6 +69,25 @@ func (t *Tracer) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it on first use. A nil or
+// disabled tracer returns nil, whose Set/Add are no-ops.
+func (t *Tracer) Gauge(name string) *Gauge {
+	if !t.Enabled() {
+		return nil
+	}
+	t.metricsMu.Lock()
+	defer t.metricsMu.Unlock()
+	if t.gauges == nil {
+		t.gauges = map[string]*Gauge{}
+	}
+	g, ok := t.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		t.gauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the named histogram, creating it on first use. A nil
 // or disabled tracer returns nil, whose Observe is a no-op.
 func (t *Tracer) Histogram(name string) *Histogram {
@@ -95,6 +121,30 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Set replaces the gauge value (no-op on nil).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n (no-op on nil).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
 }
 
 // Observe records one sample (no-op on nil).
@@ -160,4 +210,22 @@ func (t *Tracer) MetricsSnapshot() (map[string]int64, map[string]HistogramSummar
 		}
 	}
 	return counters, hists
+}
+
+// GaugesSnapshot returns the current gauge values by name (nil map on a
+// nil/disabled tracer or when no gauge was ever touched).
+func (t *Tracer) GaugesSnapshot() map[string]int64 {
+	if !t.Enabled() {
+		return nil
+	}
+	t.metricsMu.Lock()
+	defer t.metricsMu.Unlock()
+	if len(t.gauges) == 0 {
+		return nil
+	}
+	gauges := make(map[string]int64, len(t.gauges))
+	for name, g := range t.gauges {
+		gauges[name] = g.Value()
+	}
+	return gauges
 }

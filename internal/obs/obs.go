@@ -85,6 +85,7 @@ type Tracer struct {
 
 	metricsMu sync.Mutex
 	counters  map[string]*Counter
+	gauges    map[string]*Gauge
 	hists     map[string]*Histogram
 }
 

@@ -22,9 +22,10 @@ type RunReport struct {
 	// DurationMS is the wall-clock time of the whole run.
 	DurationMS float64      `json:"duration_ms"`
 	Rails      []RailReport `json:"rails"`
-	// Counters and Histograms snapshot the tracer metrics (present only
-	// when the run was traced).
+	// Counters, Gauges and Histograms snapshot the tracer metrics
+	// (present only when the run was traced).
 	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]int64            `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
 }
 

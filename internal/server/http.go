@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"sprout"
@@ -82,6 +83,16 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	opt.WithManual = r.URL.Query().Get("manual") == "1"
 	opt.SkipExtract = r.URL.Query().Get("skip_extract") == "1"
+	opt.Explore = r.URL.Query().Get("explore") == "1"
+	opt.ExploreSequential = r.URL.Query().Get("explore_seq") == "1"
+	if v := r.URL.Query().Get("explore_workers"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad explore_workers %q: want a positive integer", v))
+			return
+		}
+		opt.ExploreWorkers = n
+	}
 
 	st, err := e.Submit(dec, opt)
 	switch {
@@ -149,6 +160,7 @@ type Metrics struct {
 	InFlight   int64                           `json:"in_flight"`
 	Workers    int                             `json:"workers"`
 	Counters   map[string]int64                `json:"counters,omitempty"`
+	Gauges     map[string]int64                `json:"gauges,omitempty"`
 	Histograms map[string]obs.HistogramSummary `json:"histograms,omitempty"`
 }
 
@@ -161,6 +173,7 @@ func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		InFlight:   e.InFlight(),
 		Workers:    e.cfg.Workers,
 		Counters:   counters,
+		Gauges:     e.cfg.Tracer.GaugesSnapshot(),
 		Histograms: hists,
 	})
 }

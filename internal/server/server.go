@@ -86,12 +86,21 @@ func defaultRoute(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOpt
 	return sprout.RouteBoardCtx(ctx, dec.Board, opt)
 }
 
+// exploreFunc runs one order-exploration job; production uses
+// sprout.ExploreNetOrdersCtx.
+type exploreFunc func(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.OrderExploration, error)
+
+func defaultExplore(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.OrderExploration, error) {
+	return sprout.ExploreNetOrdersCtx(ctx, dec.Board, opt)
+}
+
 // Engine is the routing service core. Create with New, start the pool
 // with Start, stop with Shutdown.
 type Engine struct {
-	cfg   Config
-	store *store
-	route routeFunc
+	cfg     Config
+	store   *store
+	route   routeFunc
+	explore exploreFunc
 
 	queue    chan *Job
 	draining chan struct{}
@@ -115,6 +124,7 @@ func New(cfg Config) *Engine {
 		cfg:      cfg,
 		store:    newStore(),
 		route:    defaultRoute,
+		explore:  defaultExplore,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		draining: make(chan struct{}),
 		runCtx:   ctx,
@@ -153,6 +163,14 @@ type SubmitOptions struct {
 	// WithManual and SkipExtract mirror sprout.RouteOptions.
 	WithManual  bool
 	SkipExtract bool
+	// Explore runs net-order exploration instead of a single-order route:
+	// the job's report is the winning order's, and the status carries the
+	// best order plus tried/failed counts.
+	Explore bool
+	// ExploreWorkers and ExploreSequential mirror the sprout.RouteOptions
+	// explorer knobs (pool bound; force the sequential reference path).
+	ExploreWorkers    int
+	ExploreSequential bool
 }
 
 // Submit runs admission control over a decoded board document. It
@@ -172,13 +190,15 @@ func (e *Engine) Submit(dec *boardio.Decoded, opt SubmitOptions) (Status, error)
 		timeout = e.cfg.MaxJobTimeout
 	}
 	ropt := sprout.RouteOptions{
-		Layer:       dec.RoutingLayer,
-		Budgets:     dec.Budgets,
-		Config:      dec.Config,
-		WithManual:  opt.WithManual,
-		SkipExtract: opt.SkipExtract,
+		Layer:             dec.RoutingLayer,
+		Budgets:           dec.Budgets,
+		Config:            dec.Config,
+		WithManual:        opt.WithManual,
+		SkipExtract:       opt.SkipExtract,
+		ExploreWorkers:    opt.ExploreWorkers,
+		ExploreSequential: opt.ExploreSequential,
 	}
-	job, existing := e.store.create(opt.IdempotencyKey, dec, ropt, timeout, time.Now())
+	job, existing := e.store.create(opt.IdempotencyKey, dec, ropt, timeout, opt.Explore, time.Now())
 	if existing {
 		e.count("server.jobs.deduped", 1)
 		st := e.store.status(job)
@@ -244,7 +264,7 @@ func (e *Engine) worker() {
 // failed and leaves the process serving.
 func (e *Engine) runJob(j *Job) {
 	tracer := obs.New()
-	doc, opt, ok := e.store.setRunning(j, tracer, time.Now())
+	doc, opt, explore, ok := e.store.setRunning(j, tracer, time.Now())
 	if !ok {
 		return // already failed by the drain sweep
 	}
@@ -257,17 +277,33 @@ func (e *Engine) runJob(j *Job) {
 	ctx = obs.WithTracer(ctx, tracer)
 
 	start := time.Now()
-	res, err := e.routeContained(ctx, doc, opt)
+	var report *obs.RunReport
+	var err error
+	if explore {
+		var ex *sprout.OrderExploration
+		ex, err = e.exploreContained(ctx, doc, opt)
+		if ex != nil {
+			e.store.noteExploration(j, ex)
+			e.count("server.explore.orders", int64(ex.Stats.Orders))
+			e.count("server.explore.prefix_hits", ex.Stats.PrefixHits)
+			e.count("server.explore.prefix_misses", ex.Stats.PrefixMisses)
+			if ex.Best != nil {
+				report = ex.Best.Report
+			}
+		}
+	} else {
+		var res *sprout.BoardResult
+		res, err = e.routeContained(ctx, doc, opt)
+		if res != nil {
+			report = res.Report
+		}
+	}
 	dur := time.Since(start)
 
 	if err != nil && errors.Is(err, context.Canceled) && e.runCtx.Err() != nil {
 		// The server, not the client, cancelled this job: it is a drain
 		// straggler, and its terminal error says so.
 		err = fmt.Errorf("%w: %w", sprout.ErrShuttingDown, err)
-	}
-	var report *obs.RunReport
-	if res != nil {
-		report = res.Report
 	}
 	if !e.store.finish(j, report, err, time.Now()) {
 		return
@@ -296,6 +332,18 @@ func (e *Engine) routeContained(ctx context.Context, doc *boardio.Decoded, opt s
 		}
 	}()
 	return e.route(ctx, doc, opt)
+}
+
+// exploreContained is routeContained for exploration jobs: same panic
+// barrier, different payload.
+func (e *Engine) exploreContained(ctx context.Context, doc *boardio.Decoded, opt sprout.RouteOptions) (ex *sprout.OrderExploration, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.count("server.jobs.panics", 1)
+			err = &sprout.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return e.explore(ctx, doc, opt)
 }
 
 // Shutdown drains the engine: admission closes immediately (readyz goes

@@ -383,6 +383,102 @@ func TestHTTPSurface(t *testing.T) {
 	}
 }
 
+// TestExploreJobSurface covers the sproutd exploration surface: the
+// explore knobs thread from the HTTP query through SubmitOptions into
+// the explorer's RouteOptions, and the sweep digest (winning order,
+// cache stats) lands in job status while the winner's report is served
+// as the job result.
+func TestExploreJobSurface(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDepth: 2, Tracer: obs.New()})
+	var gotOpt sprout.RouteOptions
+	eng.explore = func(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.OrderExploration, error) {
+		gotOpt = opt
+		return &sprout.OrderExploration{
+			Best:      okResult(),
+			BestOrder: []board.NetID{1, 0},
+			BestScore: 0.25,
+			Tried:     2,
+			Failed:    []sprout.OrderError{{Order: []board.NetID{0, 1}, Kind: sprout.OrderKindRoute}},
+			Stats:     sprout.ExploreStats{Orders: 3, Parallel: true, PrefixHits: 3, PrefixMisses: 4},
+		}, nil
+	}
+	eng.Start()
+	ts := httptest.NewServer(eng.Handler())
+	defer ts.Close()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = eng.Shutdown(sctx)
+	}()
+
+	doc := encodeBoardDoc(t)
+
+	// A bad worker count is a 400, not a silently defaulted sweep.
+	resp, err := http.Post(ts.URL+"/v1/jobs?explore=1&explore_workers=zero",
+		"application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad explore_workers = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs?explore=1&explore_workers=2&explore_seq=1",
+		"application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub Status
+	if jerr := json.NewDecoder(resp.Body).Decode(&sub); jerr != nil {
+		t.Fatal(jerr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("explore submit = %d, want 202", resp.StatusCode)
+	}
+
+	waitFor(t, "explore job to finish", func() bool {
+		st, ok := eng.Job(sub.ID)
+		return ok && st.State == StateDone
+	})
+	if gotOpt.ExploreWorkers != 2 || !gotOpt.ExploreSequential {
+		t.Fatalf("explore knobs not threaded: %+v", gotOpt)
+	}
+
+	st, _ := eng.Job(sub.ID)
+	ex := st.Exploration
+	if ex == nil {
+		t.Fatal("done exploration job must carry an exploration summary")
+	}
+	if fmt.Sprint(ex.BestOrder) != "[1 0]" || ex.BestScore != 0.25 ||
+		ex.OrdersTried != 2 || ex.OrdersFailed != 1 ||
+		ex.PrefixHits != 3 || ex.PrefixMisses != 4 {
+		t.Fatalf("exploration summary = %+v", ex)
+	}
+
+	// The winner's run report is the job result.
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.RunReport
+	if jerr := json.NewDecoder(rresp.Body).Decode(&rep); jerr != nil {
+		t.Fatal(jerr)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK || rep.Tool != "test" {
+		t.Fatalf("result = %d / %+v, want 200 with the winner's report", rresp.StatusCode, rep)
+	}
+
+	counters, _ := eng.cfg.Tracer.MetricsSnapshot()
+	if counters["server.explore.orders"] != 3 ||
+		counters["server.explore.prefix_hits"] != 3 ||
+		counters["server.explore.prefix_misses"] != 4 {
+		t.Fatalf("explore counters = %v", counters)
+	}
+}
+
 func TestClientRetriesWithBackoff(t *testing.T) {
 	var attempts int
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

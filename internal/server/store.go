@@ -90,6 +90,12 @@ type Job struct {
 	// doc and opt are the decoded request, consumed by the worker.
 	doc *boardio.Decoded
 	opt sprout.RouteOptions
+	// explore marks an order-exploration job (worker calls the explore
+	// function instead of the route function).
+	explore bool
+	// exploration summarizes a finished exploration job for the status
+	// surface (nil for plain routing jobs).
+	exploration *ExplorationSummary
 	// timeout is the per-job deadline.
 	timeout time.Duration
 	// report is the per-job machine-readable run summary (nil until
@@ -100,11 +106,31 @@ type Job struct {
 	tracer *obs.Tracer
 }
 
+// ExplorationSummary is the status-surface digest of an exploration
+// job: the winning order and how the sweep went.
+type ExplorationSummary struct {
+	// BestOrder is the winning net sequence (net ids).
+	BestOrder []int `json:"best_order,omitempty"`
+	// BestScore is the winner's current-weighted total resistance.
+	BestScore float64 `json:"best_score,omitempty"`
+	// OrdersTried and OrdersFailed count evaluated and failed orders.
+	OrdersTried  int `json:"orders_tried"`
+	OrdersFailed int `json:"orders_failed,omitempty"`
+	// PrefixHits and PrefixMisses report the prefix-cache effectiveness
+	// of the parallel explorer: misses count actual rail routes, hits
+	// count memoized reuses (both 0 on the sequential path).
+	PrefixHits   int64 `json:"prefix_hits,omitempty"`
+	PrefixMisses int64 `json:"prefix_misses,omitempty"`
+}
+
 // Status is the JSON-facing snapshot of a job.
 type Status struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
 	Board string   `json:"board,omitempty"`
+	// Exploration carries the order-sweep digest for exploration jobs
+	// once the worker finished the sweep (nil otherwise).
+	Exploration *ExplorationSummary `json:"exploration,omitempty"`
 	// Deduped marks a submission that was answered from an existing job
 	// via its idempotency key.
 	Deduped bool `json:"deduped,omitempty"`
@@ -133,7 +159,7 @@ func newStore() *store {
 // create registers a new queued job, or returns the existing one when
 // the idempotency key has been seen before (existing=true). The caller
 // must remove the job with drop if admission subsequently rejects it.
-func (s *store) create(idemKey string, doc *boardio.Decoded, opt sprout.RouteOptions, timeout time.Duration, now time.Time) (j *Job, existing bool) {
+func (s *store) create(idemKey string, doc *boardio.Decoded, opt sprout.RouteOptions, timeout time.Duration, explore bool, now time.Time) (j *Job, existing bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if idemKey != "" {
@@ -150,6 +176,7 @@ func (s *store) create(idemKey string, doc *boardio.Decoded, opt sprout.RouteOpt
 		submitted: now,
 		doc:       doc,
 		opt:       opt,
+		explore:   explore,
 		timeout:   timeout,
 	}
 	s.jobs[j.id] = j
@@ -182,16 +209,34 @@ func (s *store) get(id string) *Job {
 // state (e.g. failed by the drain sweep racing the worker), in which
 // case the worker must not run it. The payload is read under the store
 // lock so the worker never touches fields a finish may clear.
-func (s *store) setRunning(j *Job, tracer *obs.Tracer, now time.Time) (doc *boardio.Decoded, opt sprout.RouteOptions, ok bool) {
+func (s *store) setRunning(j *Job, tracer *obs.Tracer, now time.Time) (doc *boardio.Decoded, opt sprout.RouteOptions, explore, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j.state.Terminal() {
-		return nil, sprout.RouteOptions{}, false
+		return nil, sprout.RouteOptions{}, false, false
 	}
 	j.state = StateRunning
 	j.started = now
 	j.tracer = tracer
-	return j.doc, j.opt, true
+	return j.doc, j.opt, j.explore, true
+}
+
+// noteExploration records the sweep digest of an exploration job before
+// it goes terminal, so the status surface can report the winning order.
+func (s *store) noteExploration(j *Job, ex *sprout.OrderExploration) {
+	sum := &ExplorationSummary{
+		BestScore:    ex.BestScore,
+		OrdersTried:  ex.Tried,
+		OrdersFailed: len(ex.Failed),
+		PrefixHits:   ex.Stats.PrefixHits,
+		PrefixMisses: ex.Stats.PrefixMisses,
+	}
+	for _, id := range ex.BestOrder {
+		sum.BestOrder = append(sum.BestOrder, int(id))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.exploration = sum
 }
 
 // finish transitions a job to its terminal state exactly once; late
@@ -235,7 +280,7 @@ func (s *store) nonTerminal() []*Job {
 func (s *store) status(j *Job) Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Status{ID: j.id, State: j.state, Board: j.board}
+	st := Status{ID: j.id, State: j.state, Board: j.board, Exploration: j.exploration}
 	if j.err != nil {
 		st.Error = j.err.Error()
 		st.ErrorKind = j.kind

@@ -23,6 +23,7 @@ func buildRunReport(boardName string, layer int, multilayer bool, dur time.Durat
 	}
 	if tr.Enabled() {
 		rep.Counters, rep.Histograms = tr.MetricsSnapshot()
+		rep.Gauges = tr.GaugesSnapshot()
 	}
 	return rep
 }

@@ -1,0 +1,278 @@
+package sprout
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/pprof"
+	"time"
+
+	"sprout/internal/board"
+	"sprout/internal/extract"
+	"sprout/internal/geom"
+	"sprout/internal/manual"
+	"sprout/internal/obs"
+	"sprout/internal/route"
+)
+
+// RailError identifies the rail a board-level routing failure came from.
+// FailFast aborts and per-rail Diag records wrap the underlying pipeline
+// error in a RailError, so callers (notably the order explorer) can
+// attribute a failed run to the net that caused it with errors.As instead
+// of parsing messages.
+type RailError struct {
+	// Net and Name identify the failing rail.
+	Net  board.NetID
+	Name string
+	// Stage is the pipeline phase that failed: "" for the routing
+	// synthesis itself, "extract" or "manual baseline" otherwise.
+	Stage string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error renders the historical board-level message for the failing stage.
+func (e *RailError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("sprout: %s net %s: %v", e.Stage, e.Name, e.Err)
+	}
+	return fmt.Sprintf("sprout: net %s: %v", e.Name, e.Err)
+}
+
+// Unwrap exposes the underlying pipeline error.
+func (e *RailError) Unwrap() error { return e.Err }
+
+// boardRun is the validated, immutable context of one board-level routing
+// problem: the board, the options, and the extraction parameters derived
+// from the chosen layer. One boardRun is shared by every routing order the
+// explorer tries — it carries no mutable routing state.
+type boardRun struct {
+	b     *board.Board
+	opt   RouteOptions
+	exOpt extract.Options
+}
+
+// newBoardRun validates the layer and prepares the extraction options.
+func newBoardRun(b *board.Board, opt RouteOptions) (*boardRun, error) {
+	if opt.Layer < 1 || opt.Layer > b.Stackup.NumLayers() {
+		return nil, fmt.Errorf("sprout: routing layer %d out of range [1,%d]", opt.Layer, b.Stackup.NumLayers())
+	}
+	layerInfo := b.Stackup.Layer(opt.Layer)
+	if layerInfo.IsPlane {
+		return nil, fmt.Errorf("sprout: layer %d is a reference plane, not routable", opt.Layer)
+	}
+	return &boardRun{
+		b:   b,
+		opt: opt,
+		exOpt: extract.Options{
+			Pitch:     opt.ExtractPitch,
+			SheetOhms: layerInfo.SheetResistance(),
+			HeightUM:  b.Stackup.DistanceToPlaneUM(opt.Layer),
+		},
+	}, nil
+}
+
+// resolveOrder expands and validates a routing order: the default is net
+// id order, repeated or unknown ids are rejected.
+func resolveOrder(b *board.Board, order []board.NetID) ([]board.Net, error) {
+	if len(order) == 0 {
+		for _, n := range b.Nets {
+			order = append(order, n.ID)
+		}
+	}
+	nets := make([]board.Net, 0, len(order))
+	seen := map[board.NetID]bool{}
+	for _, id := range order {
+		n, err := b.Net(id)
+		if err != nil {
+			return nil, err
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("sprout: net %s repeated in Order", n.Name)
+		}
+		seen[id] = true
+		nets = append(nets, n)
+	}
+	return nets, nil
+}
+
+// routeState is an immutable snapshot of a routed prefix: the rails
+// synthesized so far and the copper they (and their manual baselines)
+// have claimed. Snapshots form the nodes of the explorer's permutation
+// tree — routeNext never mutates its parent, so one snapshot can be
+// extended by many diverging suffixes concurrently. The determinism
+// contract (DESIGN "Exploration scaling") rests on this immutability:
+// routing net N on top of a snapshot yields bit-identical results whether
+// the snapshot was just computed, memoized, or shared across goroutines.
+type routeState struct {
+	rails        []RailResult
+	sproutCopper geom.Region
+	manualCopper geom.Region
+}
+
+// newRouteState returns the empty prefix: nothing routed, nothing claimed.
+func newRouteState() *routeState {
+	return &routeState{sproutCopper: geom.EmptyRegion(), manualCopper: geom.EmptyRegion()}
+}
+
+// appendRail copies the rail list and appends one entry, so sibling
+// branches sharing the parent slice never alias each other's tails.
+func appendRail(rails []RailResult, rail RailResult) []RailResult {
+	out := make([]RailResult, len(rails)+1)
+	copy(out, rails)
+	out[len(rails)] = rail
+	return out
+}
+
+// routeNext routes one net on top of a parent snapshot and returns the
+// child snapshot. The parent is never modified; when the net has fewer
+// than two terminal groups on the layer there is nothing to route and the
+// parent itself is returned.
+//
+// Failure semantics match RouteBoardCtx: cancellation aborts, FailFast
+// converts any rail failure into a *RailError abort, and otherwise the
+// rail degrades to its seed-only route with the failure recorded in its
+// Diag.
+func (r *boardRun) routeNext(ctx context.Context, parent *routeState, net board.Net) (*routeState, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	terms, err := railTerminals(r.b, net.ID, r.opt.Layer)
+	if err != nil {
+		return nil, err
+	}
+	if len(terms) < 2 {
+		return parent, nil // nothing to route on this layer for this net
+	}
+	// Each rail runs under its own trace track, span, and pprof label, so
+	// CPU profiles and Chrome traces attribute time per rail — also when
+	// several rails route concurrently on explorer goroutines.
+	rctx := obs.WithTrack(ctx, "rail:"+net.Name)
+	rctx = pprof.WithLabels(rctx, pprof.Labels("rail", net.Name))
+	pprof.SetGoroutineLabels(rctx)
+	defer pprof.SetGoroutineLabels(ctx)
+	rctx, railSp := obs.StartSpan(rctx, "Rail", obs.A("net", net.Name))
+	defer railSp.End()
+
+	cfg := r.opt.Config
+	budget := r.opt.Budgets[net.ID]
+	if budget > 0 {
+		cfg.AreaMax = budget
+	}
+
+	baseAvail := r.b.AvailableSpace(net.ID, r.opt.Layer)
+	avail := baseAvail.Subtract(parent.sproutCopper.Bloat(r.b.Rules.Clearance))
+	rail := RailResult{Net: net.ID, Name: net.Name, Budget: cfg.AreaMax}
+	sproutCopper := parent.sproutCopper
+	manualCopper := parent.manualCopper
+	res, rerr := route.RouteCtx(rctx, avail, terms, cfg)
+	switch {
+	case rerr == nil:
+		rail.Route = res
+	case isCtxErr(rerr):
+		return nil, rerr // cancellation is never a rail fault
+	case r.opt.FailFast:
+		return nil, &RailError{Net: net.ID, Name: net.Name, Err: rerr}
+	default:
+		// Per-rail isolation: record the failure and degrade to the
+		// seed-only route (paper Alg. 2). The seed ignores the area
+		// budget — a minimal connected shape beats no shape. When even
+		// seeding fails the rail stays unrouted but the board goes on.
+		rail.Diag.Err = &RailError{Net: net.ID, Name: net.Name, Err: rerr}
+		if seed, serr := route.SeedOnly(rctx, avail, terms, cfg); serr == nil {
+			rail.Route = seed
+			rail.Diag.Degraded = true
+		} else if isCtxErr(serr) {
+			return nil, serr
+		}
+	}
+
+	if rail.Route != nil {
+		rail.Solve = rail.Route.Solve
+		sproutCopper = sproutCopper.Union(rail.Route.Shape)
+		if !r.opt.SkipExtract {
+			rep, xerr := extract.ExtractCtx(rctx, rail.Route.Shape.Union(termPads(terms)), terms, r.exOpt)
+			if xerr != nil {
+				if isCtxErr(xerr) {
+					return nil, xerr
+				}
+				if r.opt.FailFast {
+					return nil, &RailError{Net: net.ID, Name: net.Name, Stage: "extract", Err: xerr}
+				}
+				rail.Diag.Err = errors.Join(rail.Diag.Err,
+					&RailError{Net: net.ID, Name: net.Name, Stage: "extract", Err: xerr})
+			} else {
+				rail.Extract = rep
+			}
+		}
+	}
+
+	if r.opt.WithManual && rail.Route != nil {
+		mAvail := baseAvail.Subtract(parent.manualCopper.Bloat(r.b.Rules.Clearance))
+		target := cfg.AreaMax
+		if target <= 0 {
+			target = rail.Route.Shape.Area()
+		}
+		tile := cfg.DX
+		if tile == 0 {
+			tile = 10
+		}
+		man, merr := manual.Route(mAvail, terms, target, tile)
+		if merr != nil {
+			if r.opt.FailFast {
+				return nil, &RailError{Net: net.ID, Name: net.Name, Stage: "manual baseline", Err: merr}
+			}
+			rail.Diag.Err = errors.Join(rail.Diag.Err,
+				&RailError{Net: net.ID, Name: net.Name, Stage: "manual baseline", Err: merr})
+		} else {
+			manualCopper = manualCopper.Union(man.Shape)
+			rail.Manual = man
+			if !r.opt.SkipExtract {
+				rep, xerr := extract.ExtractCtx(rctx, man.Shape.Union(termPads(terms)), terms, r.exOpt)
+				if xerr != nil {
+					if isCtxErr(xerr) {
+						return nil, xerr
+					}
+					if r.opt.FailFast {
+						return nil, &RailError{Net: net.ID, Name: net.Name, Stage: "extract manual", Err: xerr}
+					}
+					rail.Diag.Err = errors.Join(rail.Diag.Err,
+						&RailError{Net: net.ID, Name: net.Name, Stage: "extract manual", Err: xerr})
+				} else {
+					rail.ManualExtract = rep
+				}
+			}
+		}
+	}
+	railSp.Fail(rail.Diag.Err)
+	return &routeState{
+		rails:        appendRail(parent.rails, rail),
+		sproutCopper: sproutCopper,
+		manualCopper: manualCopper,
+	}, nil
+}
+
+// finalize converts a fully routed snapshot into the BoardResult,
+// applying the historical board-level checks: at least one net had to be
+// routable, and at least one rail had to route (degraded counts).
+func (r *boardRun) finalize(ctx context.Context, state *routeState, start time.Time) (*BoardResult, error) {
+	result := &BoardResult{Board: r.b, Layer: r.opt.Layer, Rails: state.rails}
+	if len(result.Rails) == 0 {
+		return nil, fmt.Errorf("sprout: no routable nets on layer %d", r.opt.Layer)
+	}
+	routed := 0
+	var firstErr error
+	for _, rail := range result.Rails {
+		if rail.Route != nil {
+			routed++
+		} else if firstErr == nil {
+			firstErr = rail.Diag.Err
+		}
+	}
+	if routed == 0 {
+		return nil, fmt.Errorf("sprout: every rail failed on layer %d: %w", r.opt.Layer, firstErr)
+	}
+	result.Report = buildRunReport(r.b.Name, r.opt.Layer, false, time.Since(start),
+		railReports(result.Rails), obs.FromContext(ctx))
+	return result, nil
+}

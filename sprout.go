@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime/pprof"
 	"time"
 
 	"sprout/internal/board"
@@ -233,6 +232,26 @@ type RouteOptions struct {
 	// remaining rails are still routed. Context cancellation always aborts
 	// regardless of this switch.
 	FailFast bool
+	// ExploreWorkers bounds the order explorer's worker pool (0 =
+	// runtime.GOMAXPROCS(0)). Only ExploreNetOrdersCtx reads it.
+	ExploreWorkers int
+	// ExploreSequential forces the retained sequential explorer path —
+	// one order at a time, no prefix sharing. The parallel explorer is
+	// provably equivalent (see the differential suite), so this is a
+	// debugging/benchmarking escape hatch, not a correctness switch.
+	ExploreSequential bool
+	// ExploreNoPrefixCache disables prefix-tree memoization in the
+	// parallel explorer: every order routes from scratch on its own
+	// branch. For benchmarking the memoization win in isolation.
+	ExploreNoPrefixCache bool
+	// ExploreAllOrders explores every permutation regardless of net count
+	// (the default switches to rotations above four nets). Combine with
+	// ExploreMaxOrders to bound the sweep.
+	ExploreAllOrders bool
+	// ExploreMaxOrders truncates the enumeration after this many orders
+	// (0 = unbounded). Orders are enumerated deterministically, so a
+	// truncated sweep is a reproducible prefix of the full one.
+	ExploreMaxOrders int
 }
 
 // RouteBoard synthesizes every net of the board without cancellation
@@ -262,177 +281,22 @@ func RouteBoardCtx(ctx context.Context, b *board.Board, opt RouteOptions) (resul
 		rootSp.Fail(err)
 		rootSp.End()
 	}()
-	if opt.Layer < 1 || opt.Layer > b.Stackup.NumLayers() {
-		return nil, fmt.Errorf("sprout: routing layer %d out of range [1,%d]", opt.Layer, b.Stackup.NumLayers())
+	run, err := newBoardRun(b, opt)
+	if err != nil {
+		return nil, err
 	}
-	layerInfo := b.Stackup.Layer(opt.Layer)
-	if layerInfo.IsPlane {
-		return nil, fmt.Errorf("sprout: layer %d is a reference plane, not routable", opt.Layer)
+	nets, err := resolveOrder(b, opt.Order)
+	if err != nil {
+		return nil, err
 	}
-	exOpt := extract.Options{
-		Pitch:     opt.ExtractPitch,
-		SheetOhms: layerInfo.SheetResistance(),
-		HeightUM:  b.Stackup.DistanceToPlaneUM(opt.Layer),
-	}
-
-	order := opt.Order
-	if len(order) == 0 {
-		for _, n := range b.Nets {
-			order = append(order, n.ID)
-		}
-	}
-	nets := make([]board.Net, 0, len(order))
-	seen := map[board.NetID]bool{}
-	for _, id := range order {
-		n, err := b.Net(id)
-		if err != nil {
-			return nil, err
-		}
-		if seen[id] {
-			return nil, fmt.Errorf("sprout: net %s repeated in Order", n.Name)
-		}
-		seen[id] = true
-		nets = append(nets, n)
-	}
-
-	result = &BoardResult{Board: b, Layer: opt.Layer}
-	sproutCopper := geom.EmptyRegion()
-	manualCopper := geom.EmptyRegion()
+	state := newRouteState()
 	for _, net := range nets {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		terms, err := railTerminals(b, net.ID, opt.Layer)
+		state, err = run.routeNext(ctx, state, net)
 		if err != nil {
 			return nil, err
 		}
-		if len(terms) < 2 {
-			continue // nothing to route on this layer for this net
-		}
-		// Each rail runs under its own trace track, span, and pprof label,
-		// so CPU profiles and Chrome traces attribute time per rail. The
-		// closure scopes the deferred cleanup to one net.
-		if err := func() error {
-			rctx := obs.WithTrack(ctx, "rail:"+net.Name)
-			rctx = pprof.WithLabels(rctx, pprof.Labels("rail", net.Name))
-			pprof.SetGoroutineLabels(rctx)
-			defer pprof.SetGoroutineLabels(ctx)
-			rctx, railSp := obs.StartSpan(rctx, "Rail", obs.A("net", net.Name))
-			defer railSp.End()
-
-			cfg := opt.Config
-			budget := opt.Budgets[net.ID]
-			if budget > 0 {
-				cfg.AreaMax = budget
-			}
-
-			baseAvail := b.AvailableSpace(net.ID, opt.Layer)
-			avail := baseAvail.Subtract(sproutCopper.Bloat(b.Rules.Clearance))
-			rail := RailResult{Net: net.ID, Name: net.Name, Budget: cfg.AreaMax}
-			res, rerr := route.RouteCtx(rctx, avail, terms, cfg)
-			switch {
-			case rerr == nil:
-				rail.Route = res
-			case isCtxErr(rerr):
-				return rerr // cancellation is never a rail fault
-			case opt.FailFast:
-				return fmt.Errorf("sprout: net %s: %w", net.Name, rerr)
-			default:
-				// Per-rail isolation: record the failure and degrade to the
-				// seed-only route (paper Alg. 2). The seed ignores the area
-				// budget — a minimal connected shape beats no shape. When even
-				// seeding fails the rail stays unrouted but the board goes on.
-				rail.Diag.Err = fmt.Errorf("sprout: net %s: %w", net.Name, rerr)
-				if seed, serr := route.SeedOnly(rctx, avail, terms, cfg); serr == nil {
-					rail.Route = seed
-					rail.Diag.Degraded = true
-				} else if isCtxErr(serr) {
-					return serr
-				}
-			}
-
-			if rail.Route != nil {
-				rail.Solve = rail.Route.Solve
-				sproutCopper = sproutCopper.Union(rail.Route.Shape)
-				if !opt.SkipExtract {
-					rep, xerr := extract.ExtractCtx(rctx, rail.Route.Shape.Union(termPads(terms)), terms, exOpt)
-					if xerr != nil {
-						if isCtxErr(xerr) {
-							return xerr
-						}
-						if opt.FailFast {
-							return fmt.Errorf("sprout: extract net %s: %w", net.Name, xerr)
-						}
-						rail.Diag.Err = errors.Join(rail.Diag.Err,
-							fmt.Errorf("sprout: extract net %s: %w", net.Name, xerr))
-					} else {
-						rail.Extract = rep
-					}
-				}
-			}
-
-			if opt.WithManual && rail.Route != nil {
-				mAvail := baseAvail.Subtract(manualCopper.Bloat(b.Rules.Clearance))
-				target := cfg.AreaMax
-				if target <= 0 {
-					target = rail.Route.Shape.Area()
-				}
-				tile := cfg.DX
-				if tile == 0 {
-					tile = 10
-				}
-				man, merr := manual.Route(mAvail, terms, target, tile)
-				if merr != nil {
-					if opt.FailFast {
-						return fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, merr)
-					}
-					rail.Diag.Err = errors.Join(rail.Diag.Err,
-						fmt.Errorf("sprout: manual baseline net %s: %w", net.Name, merr))
-				} else {
-					manualCopper = manualCopper.Union(man.Shape)
-					rail.Manual = man
-					if !opt.SkipExtract {
-						rep, xerr := extract.ExtractCtx(rctx, man.Shape.Union(termPads(terms)), terms, exOpt)
-						if xerr != nil {
-							if isCtxErr(xerr) {
-								return xerr
-							}
-							if opt.FailFast {
-								return fmt.Errorf("sprout: extract manual net %s: %w", net.Name, xerr)
-							}
-							rail.Diag.Err = errors.Join(rail.Diag.Err,
-								fmt.Errorf("sprout: extract manual net %s: %w", net.Name, xerr))
-						} else {
-							rail.ManualExtract = rep
-						}
-					}
-				}
-			}
-			railSp.Fail(rail.Diag.Err)
-			result.Rails = append(result.Rails, rail)
-			return nil
-		}(); err != nil {
-			return nil, err
-		}
 	}
-	if len(result.Rails) == 0 {
-		return nil, fmt.Errorf("sprout: no routable nets on layer %d", opt.Layer)
-	}
-	routed := 0
-	var firstErr error
-	for _, rail := range result.Rails {
-		if rail.Route != nil {
-			routed++
-		} else if firstErr == nil {
-			firstErr = rail.Diag.Err
-		}
-	}
-	if routed == 0 {
-		return nil, fmt.Errorf("sprout: every rail failed on layer %d: %w", opt.Layer, firstErr)
-	}
-	result.Report = buildRunReport(b.Name, opt.Layer, false, time.Since(start),
-		railReports(result.Rails), obs.FromContext(ctx))
-	return result, nil
+	return run.finalize(ctx, state, start)
 }
 
 // isCtxErr reports whether err stems from context cancellation or
