@@ -14,9 +14,22 @@
 // in-flight jobs for -drain, cancels stragglers with a typed shutdown
 // error, and exits; no accepted job is dropped without a terminal state.
 //
+// With -data, accepted jobs are made durable in a WAL + snapshot store:
+// a SIGKILL (or power loss) loses no accepted job — the next start
+// replays the log, truncates any torn tail, and re-runs everything that
+// had not reached a terminal state. -no-fsync trades that guarantee for
+// faster accepts.
+//
+// With -self and -peers, the replica joins a consistent-hash shard ring:
+// submissions owned by a peer are proxied there (failing over along the
+// ring when peers are down), and reads for jobs this replica does not
+// hold are scattered to the peers.
+//
 // Usage:
 //
 //	sproutd -addr :8080 -workers 4 -queue 32 -drain 15s -job-timeout 2m
+//	sproutd -addr :8080 -data /var/lib/sproutd -name r1 \
+//	        -self http://r1:8080 -peers http://r2:8080,http://r3:8080
 package main
 
 import (
@@ -27,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +56,12 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline")
 	maxJobTimeout := flag.Duration("max-job-timeout", 10*time.Minute, "cap on client-requested ?timeout=")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 rejections")
+	dataDir := flag.String("data", "", "durable store directory (WAL + snapshot); empty = in-memory, nothing survives restart")
+	name := flag.String("name", "", "replica name: prefixes job ids so they are unique across a shard ring")
+	noFsync := flag.Bool("no-fsync", false, "skip the fsync after each accepted job (faster accepts, jobs in the unsynced window can vanish in a crash)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "WAL appends between snapshot+compaction passes (0 = default)")
+	self := flag.String("self", "", "this replica's base URL on the shard ring (enables proxy mode with -peers)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs on the shard ring")
 	verbose := flag.Bool("v", false, "verbose: log per-job detail")
 	quiet := flag.Bool("q", false, "quiet: log errors only")
 	flag.Parse()
@@ -54,22 +74,57 @@ func main() {
 		verbosity = obs.Verbose
 	}
 	log := obs.NewLogger(os.Stderr, verbosity)
+	tracer := obs.New()
+
+	var store server.JobStore
+	if *dataDir != "" {
+		ps, err := server.OpenStore(*dataDir, server.StoreOptions{
+			Name:          *name,
+			NoSync:        *noFsync,
+			SnapshotEvery: *snapshotEvery,
+			Tracer:        tracer,
+			Log:           log,
+		})
+		if err != nil {
+			log.Error("open store failed", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if cerr := ps.Close(); cerr != nil {
+				log.Warn("store close", "err", cerr)
+			}
+		}()
+		store = ps
+		log.Info("durable store open", "dir", *dataDir, "recovered", len(ps.Recovered()), "fsync", !*noFsync)
+	}
 
 	eng := server.New(server.Config{
 		Workers:       *workers,
+		Store:         store,
+		NodeName:      *name,
 		QueueDepth:    *queue,
 		JobTimeout:    *jobTimeout,
 		MaxJobTimeout: *maxJobTimeout,
 		DrainTimeout:  *drain,
 		RetryAfter:    *retryAfter,
-		Tracer:        obs.New(),
+		Tracer:        tracer,
 		Log:           log,
 	})
 	eng.Start()
 
+	handler := eng.Handler()
+	if *self != "" && *peers != "" {
+		peerList := strings.Split(*peers, ",")
+		for i := range peerList {
+			peerList[i] = strings.TrimSpace(peerList[i])
+		}
+		handler = eng.ShardHandler(*self, peerList, &http.Client{Timeout: 30 * time.Second})
+		log.Info("shard proxy enabled", "self", *self, "peers", peerList)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           eng.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -6,6 +6,8 @@
 package boardio
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -150,6 +152,10 @@ type Decoded struct {
 	// Config is the router tuning: tile sizes from the rules plus any
 	// optional "router" section of the document.
 	Config route.Config
+	// Doc is the parsed source document, retained so callers can
+	// re-serialize the submission in canonical form (persistence, content
+	// hashing). Nil when the Decoded was built directly from a Board.
+	Doc *BoardJSON
 }
 
 // Decode reads a BoardJSON document and builds the Board.
@@ -161,6 +167,34 @@ func Decode(r io.Reader) (*Decoded, error) {
 		return nil, fmt.Errorf("boardio: %w", err)
 	}
 	return FromJSON(&doc)
+}
+
+// Canonical re-encodes the parsed document deterministically: one JSON
+// object with the struct field order of BoardJSON, no insignificant
+// whitespace. Two submissions that differ only in key order, whitespace
+// or number formatting canonicalize to the same bytes; element order
+// (nets, groups, obstacles) is preserved because it is semantically
+// meaningful — net order is the routing order. The canonical form
+// round-trips through Decode, so it doubles as the persisted shape of a
+// submission.
+func (doc *BoardJSON) Canonical() ([]byte, error) {
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("boardio: canonicalize: %w", err)
+	}
+	return b, nil
+}
+
+// CanonicalHash is the hex SHA-256 of the canonical encoding — the
+// content identity of a submission, used by sproutd to dedupe equivalent
+// boards and by the shard router to place them.
+func (doc *BoardJSON) CanonicalHash() (string, error) {
+	b, err := doc.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // FromJSON builds a Board from a parsed document.
@@ -257,7 +291,7 @@ func FromJSON(doc *BoardJSON) (*Decoded, error) {
 		cfg.RefineTol = doc.Router.RefineTol
 		cfg.ReheatDilations = doc.Router.ReheatDilations
 	}
-	return &Decoded{Board: b, RoutingLayer: doc.RoutingLayer, Budgets: budgets, Config: cfg}, nil
+	return &Decoded{Board: b, RoutingLayer: doc.RoutingLayer, Budgets: budgets, Config: cfg, Doc: doc}, nil
 }
 
 // Encode writes the Board as a BoardJSON document. Region geometry is

@@ -41,6 +41,17 @@ const (
 	// SiteExtract fires once per impedance extraction, before the fine
 	// re-tiling.
 	SiteExtract = "extract.extract"
+	// SiteWALWrite fires once per sproutd WAL record write, before the
+	// bytes reach the file; a non-nil fire fails the append (disk fault).
+	SiteWALWrite = "server.wal.write"
+	// SiteWALSync fires once per sproutd WAL fsync, before the flush; a
+	// non-nil fire fails the durability barrier (disk fault).
+	SiteWALSync = "server.wal.sync"
+	// SiteWALCorrupt fires once per sproutd WAL record write; a non-nil
+	// fire makes the append write a deliberately torn record while
+	// reporting success — the crash-mid-write shape recovery must
+	// truncate, never trip over.
+	SiteWALCorrupt = "server.wal.corrupt"
 )
 
 // registry is the canonical site table: every check point the production
@@ -50,10 +61,13 @@ const (
 // firing) and by the sproutlint faultpoint analyzer, which flags string
 // literals passed to this package that are not in the table.
 var registry = map[string]string{
-	SiteCG:      "sparse: CG solver entry, before the first iteration",
-	SiteGrow:    "route: one SmartGrow iteration of the pipeline",
-	SiteRefine:  "route: one SmartRefine iteration of the pipeline",
-	SiteExtract: "extract: impedance extraction entry, before re-tiling",
+	SiteCG:         "sparse: CG solver entry, before the first iteration",
+	SiteGrow:       "route: one SmartGrow iteration of the pipeline",
+	SiteRefine:     "route: one SmartRefine iteration of the pipeline",
+	SiteExtract:    "extract: impedance extraction entry, before re-tiling",
+	SiteWALWrite:   "server: WAL record write, before bytes reach the file",
+	SiteWALSync:    "server: WAL fsync, before the durability barrier flush",
+	SiteWALCorrupt: "server: WAL append tears the record while reporting success",
 }
 
 // Sites returns the canonical site names in sorted order.

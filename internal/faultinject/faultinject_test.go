@@ -188,7 +188,9 @@ func TestLatencyProbabilisticIsDeterministic(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{SiteExtract, SiteGrow, SiteRefine, SiteCG} // sorted: extract.extract, route.grow, route.refine, sparse.cg
+	// Sorted: extract.extract, route.grow, route.refine, then the three
+	// server.wal.* disk-fault sites, then sparse.cg.
+	want := []string{SiteExtract, SiteGrow, SiteRefine, SiteWALCorrupt, SiteWALSync, SiteWALWrite, SiteCG}
 	got := Sites()
 	if len(got) != len(want) {
 		t.Fatalf("Sites() = %v, want %v", got, want)

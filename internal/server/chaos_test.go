@@ -25,7 +25,7 @@ import (
 
 // encodeBoardDoc builds a genuinely routable two-rail board and encodes
 // it as the JSON document the HTTP API accepts.
-func encodeBoardDoc(t *testing.T) []byte {
+func encodeBoardDoc(t testing.TB) []byte {
 	t.Helper()
 	stack := board.Stackup{Layers: []board.Layer{
 		{Name: "L1", CopperUM: 35, DielectricBelowUM: 100},

@@ -29,6 +29,12 @@ type Client struct {
 	HTTP *http.Client
 	// MaxAttempts bounds submission retries (default 8).
 	MaxAttempts int
+	// MaxElapsed caps the total wall-clock time one Submit call spends
+	// across all attempts and backoff sleeps, enforced with a context
+	// deadline (0 = attempt count only). Without it, a slow sequence of
+	// server Retry-After hints can stretch MaxAttempts far past the
+	// caller's intent.
+	MaxElapsed time.Duration
 	// BaseBackoff/MaxBackoff shape the exponential backoff (defaults
 	// 50ms / 2s).
 	BaseBackoff time.Duration
@@ -80,6 +86,11 @@ func (e *JobFailedError) Unwrap() error {
 // idempotency key makes those retries safe — a submission that actually
 // landed is answered from the existing job, not run twice.
 func (c *Client) Submit(ctx context.Context, doc []byte, idemKey string) (Status, error) {
+	if c.MaxElapsed > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.MaxElapsed)
+		defer cancel()
+	}
 	var last error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		st, retryAfter, err := c.trySubmit(ctx, doc, idemKey)
@@ -91,6 +102,9 @@ func (c *Client) Submit(ctx context.Context, doc []byte, idemKey string) (Status
 			return Status{}, err
 		}
 		last = err
+		if attempt+1 >= c.maxAttempts() {
+			break // out of attempts: don't sleep a backoff nobody will use
+		}
 		if werr := c.sleep(ctx, attempt, retryAfter); werr != nil {
 			return Status{}, fmt.Errorf("client: submit interrupted: %w", werr)
 		}
@@ -106,6 +120,18 @@ type retryableError struct {
 
 func (e *retryableError) Error() string {
 	return fmt.Sprintf("server rejected submission (HTTP %d): %s", e.code, e.body)
+}
+
+// RejectedError is a non-retryable submission rejection (e.g. 400 for a
+// malformed document). The shard router never fails these over: the same
+// document would be rejected by every replica.
+type RejectedError struct {
+	Code int
+	Body string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("client: submit rejected (HTTP %d): %s", e.Code, e.Body)
 }
 
 func (c *Client) trySubmit(ctx context.Context, doc []byte, idemKey string) (Status, time.Duration, error) {
@@ -134,40 +160,55 @@ func (c *Client) trySubmit(ctx context.Context, doc []byte, idemKey string) (Sta
 		return Status{}, parseRetryAfter(resp), &retryableError{code: resp.StatusCode, body: string(bytes.TrimSpace(body))}
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return Status{}, 0, fmt.Errorf("client: submit rejected (HTTP %d): %s", resp.StatusCode, bytes.TrimSpace(body))
+		return Status{}, 0, &RejectedError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
 	}
 }
 
-// parseRetryAfter reads the Retry-After hint in seconds (0 when absent
-// or malformed).
+// parseRetryAfter reads the Retry-After hint: either delta-seconds or an
+// absolute HTTP-date (RFC 7231 permits both). Absent, malformed, zero,
+// negative, or already-past values all yield 0 — "no hint", falling back
+// to the client's own backoff.
 func parseRetryAfter(resp *http.Response) time.Duration {
 	v := resp.Header.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// backoffStep computes one equal-jitter backoff delay for the given
+// attempt: half the capped exponential step fixed, half uniform random,
+// so a fleet of retrying clients decorrelates while keeping a floor.
+func (c *Client) backoffStep(attempt int) time.Duration {
+	step := c.baseBackoff() << attempt
+	if max := c.maxBackoff(); step > max || step <= 0 {
+		step = max
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	return step/2 + time.Duration(c.rng.Int63n(int64(step/2)+1))
 }
 
 // sleep waits out one backoff step: the server's Retry-After hint when
-// given, otherwise exponential backoff with equal jitter (half fixed,
-// half random) so a fleet of retrying clients decorrelates.
+// given, otherwise equal-jitter exponential backoff.
 func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
 	d := retryAfter
 	if d <= 0 {
-		step := c.baseBackoff() << attempt
-		if max := c.maxBackoff(); step > max || step <= 0 {
-			step = max
-		}
-		c.mu.Lock()
-		if c.rng == nil {
-			c.rng = rand.New(rand.NewSource(1))
-		}
-		d = step/2 + time.Duration(c.rng.Int63n(int64(step/2)+1))
-		c.mu.Unlock()
+		d = c.backoffStep(attempt)
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfterForms pins the Retry-After parser across both RFC
+// 7231 forms and the malformed shapes real servers emit: delta-seconds,
+// absolute HTTP-date, zero, negative, past dates, and garbage. Anything
+// unusable must yield 0 ("no hint"), never a negative or huge sleep.
+func TestParseRetryAfterForms(t *testing.T) {
+	resp := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		name  string
+		value string
+		min   time.Duration
+		max   time.Duration
+	}{
+		{"absent", "", 0, 0},
+		{"seconds", "5", 5 * time.Second, 5 * time.Second},
+		{"zero", "0", 0, 0},
+		{"negative", "-3", 0, 0},
+		{"garbage", "soon", 0, 0},
+		{"float is not delta-seconds", "1.5", 0, 0},
+		{"http-date future", time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat), 25 * time.Second, 30 * time.Second},
+		{"http-date past", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), 0, 0},
+		{"http-date garbage", "Feb 30 25:61:00", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseRetryAfter(resp(tc.value))
+			if got < tc.min || got > tc.max {
+				t.Fatalf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.value, got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestBackoffStepEqualJitterBounds: every step must lie in
+// [step/2, step] of the capped exponential — the equal-jitter contract
+// that keeps a floor under the backoff while decorrelating a fleet.
+func TestBackoffStepEqualJitterBounds(t *testing.T) {
+	c := NewClient("http://unused", 99)
+	c.BaseBackoff = 10 * time.Millisecond
+	c.MaxBackoff = 80 * time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		step := c.BaseBackoff << attempt
+		if step > c.MaxBackoff || step <= 0 {
+			step = c.MaxBackoff
+		}
+		for i := 0; i < 50; i++ {
+			d := c.backoffStep(attempt)
+			if d < step/2 || d > step {
+				t.Fatalf("attempt %d: backoffStep = %v, want in [%v, %v]", attempt, d, step/2, step)
+			}
+		}
+	}
+	// The shift past 63 bits must not wrap into a negative step.
+	for _, attempt := range []int{40, 62, 63} {
+		if d := c.backoffStep(attempt); d < c.MaxBackoff/2 || d > c.MaxBackoff {
+			t.Fatalf("attempt %d: backoffStep = %v, want capped into [%v, %v]", attempt, d, c.MaxBackoff/2, c.MaxBackoff)
+		}
+	}
+}
+
+// TestSubmitMaxElapsed: the elapsed-time cap must cut a retry loop short
+// even when the server's Retry-After hints would stretch MaxAttempts far
+// past it.
+func TestSubmitMaxElapsed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1") // 1s per retry, forever
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 1)
+	c.MaxAttempts = 1000
+	c.MaxElapsed = 150 * time.Millisecond
+	start := time.Now()
+	_, err := c.Submit(context.Background(), []byte(`{}`), "elapsed")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("submit succeeded against a permanently draining server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the MaxElapsed deadline to surface as context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("submit ran %v, want bounded near the 150ms MaxElapsed", elapsed)
+	}
+}
+
+// TestSubmitRejectedTyped: a non-retryable rejection surfaces as
+// *RejectedError with the status code, after exactly one attempt.
+func TestSubmitRejectedTyped(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "bad board", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, 1)
+	_, err := c.Submit(context.Background(), []byte(`{}`), "rej")
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *RejectedError with 400", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (400 is not retryable)", attempts)
+	}
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprout"
+	"sprout/internal/boardio"
+	"sprout/internal/obs"
+)
+
+// reencodeDoc rewrites a board document through a generic map: the JSON
+// keys come back alphabetized and re-indented, so the bytes differ while
+// the parsed document — and therefore the canonical hash — is identical.
+func reencodeDoc(t *testing.T, doc []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(doc, &m); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.MarshalIndent(m, "", "    ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, doc) {
+		t.Fatal("re-encoded document is byte-identical; the test needs a different encoding")
+	}
+	return out
+}
+
+// TestContentDedupeSingleflight: byte-different but canonically
+// equivalent keyless submissions racing under concurrent load must
+// collapse onto one computation, with every submitter polling the same
+// job to the same successful result.
+func TestContentDedupeSingleflight(t *testing.T) {
+	doc := encodeBoardDoc(t)
+	alt := reencodeDoc(t, doc)
+
+	tr := obs.New()
+	eng := New(Config{Workers: 2, QueueDepth: 16, Tracer: tr})
+	var calls atomic.Int64
+	release := make(chan struct{})
+	eng.route = func(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.BoardResult, error) {
+		calls.Add(1)
+		<-release
+		return &sprout.BoardResult{Report: &obs.RunReport{Tool: "singleflight"}}, nil
+	}
+	eng.Start()
+	defer eng.Shutdown(context.Background())
+	ts := httptest.NewServer(eng.Handler())
+	defer ts.Close()
+
+	// First submission lands and starts computing; the gate holds it
+	// running while the equivalent copies race in.
+	cl := NewClient(ts.URL, 1)
+	first, err := cl.Submit(context.Background(), doc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first job to start", func() bool { return calls.Load() == 1 })
+
+	const racers = 6
+	var wg sync.WaitGroup
+	statuses := make([]Status, racers)
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := doc
+			if i%2 == 1 {
+				body = alt // byte-different, canonically equivalent
+			}
+			statuses[i], errs[i] = NewClient(ts.URL, int64(i)).Submit(context.Background(), body, "")
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("racer %d: %v", i, errs[i])
+		}
+		if statuses[i].ID != first.ID {
+			t.Fatalf("racer %d landed on job %s, want singleflight onto %s", i, statuses[i].ID, first.ID)
+		}
+		if !statuses[i].Deduped {
+			t.Fatalf("racer %d status not marked deduped", i)
+		}
+	}
+	// One computation, every submitter gets the same successful result.
+	rep, err := cl.WaitResult(context.Background(), first.ID, 5*time.Millisecond)
+	if err != nil || rep == nil || rep.Tool != "singleflight" {
+		t.Fatalf("result = (%+v, %v), want the shared report", rep, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("route ran %d times, want exactly 1", got)
+	}
+	counters, _ := tr.MetricsSnapshot()
+	if counters["dedupe.hits"] != racers {
+		t.Fatalf("dedupe.hits = %d, want %d", counters["dedupe.hits"], racers)
+	}
+}
+
+// TestContentDedupePolicy pins the dedupe boundaries: explicit fresh
+// idempotency keys force distinct runs even for identical content, and
+// a failed job never absorbs an equivalent resubmission.
+func TestContentDedupePolicy(t *testing.T) {
+	doc := encodeBoardDoc(t)
+
+	t.Run("fresh keys force distinct runs", func(t *testing.T) {
+		eng := New(Config{Workers: 1, QueueDepth: 16, Tracer: obs.New()})
+		var calls atomic.Int64
+		eng.route = func(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.BoardResult, error) {
+			calls.Add(1)
+			return &sprout.BoardResult{Report: &obs.RunReport{}}, nil
+		}
+		eng.Start()
+		defer eng.Shutdown(context.Background())
+		ts := httptest.NewServer(eng.Handler())
+		defer ts.Close()
+		cl := NewClient(ts.URL, 1)
+		a, err := cl.Submit(context.Background(), doc, "key-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cl.Submit(context.Background(), doc, "key-b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ID == b.ID {
+			t.Fatalf("distinct keys collapsed onto one job %s", a.ID)
+		}
+	})
+
+	t.Run("failed jobs are not absorbed", func(t *testing.T) {
+		eng := New(Config{Workers: 1, QueueDepth: 16, Tracer: obs.New()})
+		var calls atomic.Int64
+		eng.route = func(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.BoardResult, error) {
+			if calls.Add(1) == 1 {
+				return nil, errors.New("transient board damage")
+			}
+			return &sprout.BoardResult{Report: &obs.RunReport{}}, nil
+		}
+		eng.Start()
+		defer eng.Shutdown(context.Background())
+		ts := httptest.NewServer(eng.Handler())
+		defer ts.Close()
+		cl := NewClient(ts.URL, 1)
+		a, err := cl.Submit(context.Background(), doc, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "first attempt to fail", func() bool {
+			st, _ := eng.Job(a.ID)
+			return st.State == StateFailed
+		})
+		b, err := cl.Submit(context.Background(), doc, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ID == a.ID {
+			t.Fatal("equivalent resubmission deduped onto a failed job")
+		}
+		if rep, werr := cl.WaitResult(context.Background(), b.ID, 5*time.Millisecond); werr != nil || rep == nil {
+			t.Fatalf("fresh attempt = (%v, %v), want success", rep, werr)
+		}
+	})
+
+	t.Run("option flags change the hash", func(t *testing.T) {
+		eng := New(Config{Workers: 1, QueueDepth: 16, Tracer: obs.New()})
+		eng.route = func(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.BoardResult, error) {
+			return &sprout.BoardResult{Report: &obs.RunReport{}}, nil
+		}
+		eng.Start()
+		defer eng.Shutdown(context.Background())
+		ts := httptest.NewServer(eng.Handler())
+		defer ts.Close()
+		post := func(query string) Status {
+			t.Helper()
+			resp, err := http.Post(ts.URL+"/v1/jobs"+query, "application/json", bytes.NewReader(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var st Status
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}
+		plain := post("")
+		manual := post("?manual=1")
+		if plain.ID == manual.ID {
+			t.Fatal("manual=1 deduped onto the plain run; the flag changes the computation")
+		}
+		// A knob that does not change the result (timeout) still dedupes.
+		timeout := post("?timeout=90s")
+		if timeout.ID != plain.ID {
+			t.Fatalf("timeout-only resubmission = %s, want dedupe onto %s", timeout.ID, plain.ID)
+		}
+	})
+}

@@ -14,6 +14,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -33,6 +35,15 @@ import (
 type Config struct {
 	// Workers is the number of concurrent routing jobs (in-flight limit).
 	Workers int
+	// Store is the job table (nil = in-memory; pass OpenStore's result
+	// for the crash-safe persistent store). The engine re-enqueues the
+	// store's Recovered jobs on Start. Closing the store after Shutdown
+	// is the creator's responsibility.
+	Store JobStore
+	// NodeName prefixes job ids minted by the default in-memory store
+	// (replica identity for sharded deployments; a persistent store takes
+	// its name from StoreOptions instead).
+	NodeName string
 	// QueueDepth bounds the admission queue; a submission that finds the
 	// queue full is rejected with sprout.ErrOverloaded (HTTP 429).
 	QueueDepth int
@@ -98,9 +109,12 @@ func defaultExplore(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteO
 // with Start, stop with Shutdown.
 type Engine struct {
 	cfg     Config
-	store   *store
+	store   JobStore
 	route   routeFunc
 	explore exploreFunc
+	// recovered holds the persistent store's accepted-but-unfinished jobs
+	// until Start re-enqueues them.
+	recovered []*Job
 
 	queue    chan *Job
 	draining chan struct{}
@@ -119,13 +133,22 @@ type Engine struct {
 // New builds an engine; call Start to spin up the workers.
 func New(cfg Config) *Engine {
 	cfg = cfg.Normalize()
+	st := cfg.Store
+	if st == nil {
+		st = newMemStore(cfg.NodeName)
+	}
+	recovered := st.Recovered()
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		cfg:      cfg,
-		store:    newStore(),
-		route:    defaultRoute,
-		explore:  defaultExplore,
-		queue:    make(chan *Job, cfg.QueueDepth),
+		cfg:       cfg,
+		store:     st,
+		route:     defaultRoute,
+		explore:   defaultExplore,
+		recovered: recovered,
+		// The queue must absorb every recovered job on top of the normal
+		// admission depth, or a crash with a deep backlog would deadlock
+		// its own restart.
+		queue:    make(chan *Job, cfg.QueueDepth+len(recovered)),
 		draining: make(chan struct{}),
 		runCtx:   ctx,
 		stopRun:  cancel,
@@ -134,8 +157,18 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// Start launches the worker pool.
+// Start re-enqueues jobs a persistent store recovered (in their original
+// acceptance order, ahead of any new admission), then launches the
+// worker pool.
 func (e *Engine) Start() {
+	for _, j := range e.recovered {
+		e.queue <- j
+		e.count("server.jobs.recovered", 1)
+	}
+	if n := len(e.recovered); n > 0 {
+		e.cfg.Log.Info("re-enqueued recovered jobs", "jobs", n)
+	}
+	e.recovered = nil
 	for i := 0; i < e.cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -173,10 +206,36 @@ type SubmitOptions struct {
 	ExploreSequential bool
 }
 
+// canonicalSubmission derives the content identity of a submission: the
+// canonical document bytes (persisted by the durable store) and their
+// hash salted with the option flags that change what gets computed.
+// Submissions differing only in JSON formatting — or in knobs that do
+// not affect the result, like timeout or explorer parallelism — share a
+// hash and singleflight onto one job. A document-less Decoded (built
+// directly from a Board in tests) yields "" and opts out of dedupe.
+func canonicalSubmission(dec *boardio.Decoded, opt SubmitOptions) (raw []byte, hash string) {
+	if dec.Doc == nil {
+		return nil, ""
+	}
+	b, err := dec.Doc.Canonical()
+	if err != nil {
+		return nil, ""
+	}
+	h := sha256.New()
+	h.Write(b)
+	fmt.Fprintf(h, "|explore=%t|manual=%t|skip_extract=%t", opt.Explore, opt.WithManual, opt.SkipExtract)
+	return b, hex.EncodeToString(h.Sum(nil))
+}
+
 // Submit runs admission control over a decoded board document. It
 // returns the job's status snapshot, or a typed rejection:
 // sprout.ErrShuttingDown when draining, sprout.ErrOverloaded when the
 // queue is full. Accepted jobs are guaranteed to reach a terminal state.
+//
+// Submissions dedupe two ways: an Idempotency-Key seen before returns
+// the original job, and a keyless submission whose canonical content
+// hash matches a live job singleflights onto it — one computation, every
+// submitter polls the same result.
 func (e *Engine) Submit(dec *boardio.Decoded, opt SubmitOptions) (Status, error) {
 	if !e.accepting.Load() {
 		e.count("server.jobs.rejected_shutdown", 1)
@@ -189,28 +248,44 @@ func (e *Engine) Submit(dec *boardio.Decoded, opt SubmitOptions) (Status, error)
 	if timeout > e.cfg.MaxJobTimeout {
 		timeout = e.cfg.MaxJobTimeout
 	}
-	ropt := sprout.RouteOptions{
-		Layer:             dec.RoutingLayer,
-		Budgets:           dec.Budgets,
-		Config:            dec.Config,
-		WithManual:        opt.WithManual,
-		SkipExtract:       opt.SkipExtract,
-		ExploreWorkers:    opt.ExploreWorkers,
-		ExploreSequential: opt.ExploreSequential,
+	raw, hash := canonicalSubmission(dec, opt)
+	spec := JobSpec{
+		IdemKey: opt.IdempotencyKey,
+		Hash:    hash,
+		Raw:     raw,
+		Doc:     dec,
+		Opt: sprout.RouteOptions{
+			Layer:             dec.RoutingLayer,
+			Budgets:           dec.Budgets,
+			Config:            dec.Config,
+			WithManual:        opt.WithManual,
+			SkipExtract:       opt.SkipExtract,
+			ExploreWorkers:    opt.ExploreWorkers,
+			ExploreSequential: opt.ExploreSequential,
+		},
+		Timeout: timeout,
+		Explore: opt.Explore,
 	}
-	job, existing := e.store.create(opt.IdempotencyKey, dec, ropt, timeout, opt.Explore, time.Now())
-	if existing {
+	job, dedupe, err := e.store.Create(spec, time.Now())
+	if err != nil {
+		e.count("server.jobs.rejected_store", 1)
+		return Status{}, fmt.Errorf("server: submission not durable: %w", err)
+	}
+	if dedupe != DedupeNone {
 		e.count("server.jobs.deduped", 1)
-		st := e.store.status(job)
+		if dedupe == DedupeContent {
+			e.count("dedupe.hits", 1)
+		}
+		st := e.store.Status(job)
 		st.Deduped = true
 		return st, nil
 	}
 	select {
 	case e.queue <- job:
 		e.count("server.jobs.accepted", 1)
-		return e.store.status(job), nil
+		return e.store.Status(job), nil
 	default:
-		e.store.drop(job)
+		e.store.Drop(job)
 		e.count("server.jobs.rejected_overloaded", 1)
 		return Status{}, sprout.ErrOverloaded
 	}
@@ -218,22 +293,22 @@ func (e *Engine) Submit(dec *boardio.Decoded, opt SubmitOptions) (Status, error)
 
 // Job returns the status snapshot for a job id (ok=false when unknown).
 func (e *Engine) Job(id string) (Status, bool) {
-	j := e.store.get(id)
+	j := e.store.Get(id)
 	if j == nil {
 		return Status{}, false
 	}
-	return e.store.status(j), true
+	return e.store.Status(j), true
 }
 
 // Result returns a terminal job's run report and tracer. The bool is
 // false when the job is unknown.
 func (e *Engine) Result(id string) (Status, *obs.RunReport, *obs.Tracer, bool) {
-	j := e.store.get(id)
+	j := e.store.Get(id)
 	if j == nil {
 		return Status{}, nil, nil, false
 	}
-	rep, tr := e.store.result(j)
-	return e.store.status(j), rep, tr, true
+	rep, tr := e.store.Result(j)
+	return e.store.Status(j), rep, tr, true
 }
 
 // worker pulls jobs until shutdown; once draining begins it keeps
@@ -264,7 +339,7 @@ func (e *Engine) worker() {
 // failed and leaves the process serving.
 func (e *Engine) runJob(j *Job) {
 	tracer := obs.New()
-	doc, opt, explore, ok := e.store.setRunning(j, tracer, time.Now())
+	doc, opt, explore, ok := e.store.SetRunning(j, tracer, time.Now())
 	if !ok {
 		return // already failed by the drain sweep
 	}
@@ -283,7 +358,7 @@ func (e *Engine) runJob(j *Job) {
 		var ex *sprout.OrderExploration
 		ex, err = e.exploreContained(ctx, doc, opt)
 		if ex != nil {
-			e.store.noteExploration(j, ex)
+			e.store.NoteExploration(j, ex)
 			e.count("server.explore.orders", int64(ex.Stats.Orders))
 			e.count("server.explore.prefix_hits", ex.Stats.PrefixHits)
 			e.count("server.explore.prefix_misses", ex.Stats.PrefixMisses)
@@ -305,7 +380,7 @@ func (e *Engine) runJob(j *Job) {
 		// straggler, and its terminal error says so.
 		err = fmt.Errorf("%w: %w", sprout.ErrShuttingDown, err)
 	}
-	if !e.store.finish(j, report, err, time.Now()) {
+	if !e.store.Finish(j, report, err, time.Now()) {
 		return
 	}
 	e.observe("server.job.queue_wait_ms", float64(queueWait.Nanoseconds())/1e6)
@@ -377,8 +452,8 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	// Sweep: any job still non-terminal (accepted after the workers
 	// checked the queue, or orphaned in the channel) fails typed rather
 	// than vanishing. This is the zero-loss guarantee.
-	for _, j := range e.store.nonTerminal() {
-		if e.store.finish(j, nil, sprout.ErrShuttingDown, time.Now()) {
+	for _, j := range e.store.NonTerminal() {
+		if e.store.Finish(j, nil, sprout.ErrShuttingDown, time.Now()) {
 			e.count("server.jobs.failed", 1)
 			e.count("server.jobs.failed_"+string(KindShutdown), 1)
 		}

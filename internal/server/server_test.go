@@ -323,25 +323,32 @@ func TestHTTPSurface(t *testing.T) {
 	}
 
 	// Fill the worker and the queue, then overload: the 429 must carry
-	// Retry-After.
+	// Retry-After. Distinct idempotency keys keep equivalent documents
+	// from content-deduping onto one job — this test wants three jobs.
 	doc := encodeBoardDoc(t)
-	post := func() *http.Response {
+	post := func(key string) *http.Response {
 		t.Helper()
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(doc))
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
 		return resp
 	}
-	if resp := post(); resp.StatusCode != http.StatusAccepted {
+	if resp := post("h1"); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit 1 = %d, want 202", resp.StatusCode)
 	}
 	waitFor(t, "worker pickup", func() bool { return eng.InFlight() == 1 })
-	if resp := post(); resp.StatusCode != http.StatusAccepted {
+	if resp := post("h2"); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit 2 = %d, want 202", resp.StatusCode)
 	}
-	over := post()
+	over := post("h3")
 	if over.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overload = %d, want 429", over.StatusCode)
 	}
@@ -372,7 +379,7 @@ func TestHTTPSurface(t *testing.T) {
 	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
 	}
-	drained := post()
+	drained := post("h4")
 	if drained.StatusCode != http.StatusServiceUnavailable || drained.Header.Get("Retry-After") == "" {
 		t.Fatalf("post-drain submit = %d (Retry-After %q), want 503 with hint",
 			drained.StatusCode, drained.Header.Get("Retry-After"))

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sprout/internal/obs"
+)
+
+// This file is the multi-replica layer: a consistent-hash ring assigns
+// every submission an owning replica, the ShardClient routes and fails
+// over on the client side, and ShardHandler gives each sproutd a thin
+// proxy mode so a client that talks to the "wrong" replica still lands
+// on the right one. Routing is by content: the idempotency key when the
+// client supplies one, else the SHA-256 of the document bytes — so
+// retries and equivalent submissions from different front-ends converge
+// on the same replica, where the store's dedupe can singleflight them.
+
+// ringVnodes is the virtual-node multiplier: enough points that three
+// replicas split the key space within a few percent of evenly, small
+// enough that building a ring is negligible.
+const ringVnodes = 64
+
+// hashRing is a consistent-hash ring over replica names. Adding or
+// removing one replica remaps only the keys it owned, which is what
+// keeps a rolling restart from reshuffling every in-flight job.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func newHashRing(nodes []string) *hashRing {
+	r := &hashRing{nodes: append([]string(nil), nodes...)}
+	for _, n := range nodes {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// ringHash hashes a ring key. Raw FNV-1a of short strings that share a
+// prefix (replica URLs with a vnode suffix) clusters into narrow bands,
+// which collapses the ring; the 64-bit avalanche finalizer on top
+// spreads those clusters across the whole space.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// owner returns the replica owning the key (the first ring point at or
+// after the key's hash, wrapping).
+func (r *hashRing) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// sequence returns every replica in failover order for the key: the
+// owner first, then the remaining distinct replicas walking the ring.
+// A client that exhausts the sequence has genuinely tried everyone.
+func (r *hashRing) sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.nodes))
+	out := make([]string, 0, len(r.nodes))
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// ContentKey is the shard-routing key of a submission: the idempotency
+// key when present, else the hex SHA-256 of the raw document bytes.
+// Byte-identical retries therefore always land on the same replica.
+// (Byte-different but equivalent documents may land on different
+// replicas; each replica's canonical-hash dedupe still collapses the
+// copies it receives.)
+func ContentKey(doc []byte, idemKey string) string {
+	if idemKey != "" {
+		return idemKey
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:])
+}
+
+// AllReplicasError reports a shard operation that exhausted every
+// replica. Errs maps each replica base URL to the error it produced,
+// so the caller can tell a cluster-wide drain from a network partition.
+type AllReplicasError struct {
+	Op   string
+	Key  string
+	Errs map[string]error
+}
+
+func (e *AllReplicasError) Error() string {
+	parts := make([]string, 0, len(e.Errs))
+	for _, base := range sortedKeys(e.Errs) {
+		parts = append(parts, fmt.Sprintf("%s: %v", base, e.Errs[base]))
+	}
+	return fmt.Sprintf("shard: %s %q failed on all %d replicas: %s", e.Op, e.Key, len(e.Errs), strings.Join(parts, "; "))
+}
+
+func sortedKeys(m map[string]error) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShardClient fans a client across N sproutd replicas: submissions are
+// routed to their consistent-hash owner and failed over to the next
+// replica on transport failure or retry exhaustion (a draining or dead
+// replica must not fail the cluster). Status and result polls follow
+// the replica that actually accepted the job.
+type ShardClient struct {
+	// Tracer receives shard.failovers (optional).
+	Tracer *obs.Tracer
+
+	ring     *hashRing
+	replicas map[string]*Client
+
+	mu     sync.Mutex
+	owners map[string]*Client // job id -> replica that accepted it
+}
+
+// NewShardClient builds a shard client over the replica base URLs. The
+// seed drives every per-replica client's backoff jitter. configure (may
+// be nil) runs on each underlying Client for retry tuning.
+func NewShardClient(bases []string, seed int64, configure func(*Client)) *ShardClient {
+	s := &ShardClient{
+		ring:     newHashRing(bases),
+		replicas: make(map[string]*Client, len(bases)),
+		owners:   map[string]*Client{},
+	}
+	for i, b := range bases {
+		c := NewClient(b, seed+int64(i))
+		if configure != nil {
+			configure(c)
+		}
+		s.replicas[b] = c
+	}
+	return s
+}
+
+// Submit routes the document to its owning replica and fails over along
+// the ring until a replica accepts it. Non-retryable rejections
+// (*RejectedError — a malformed document is malformed everywhere) and
+// context cancellation stop the walk immediately; everything else
+// (connection refused, retries exhausted against a draining replica)
+// moves to the next replica and bumps shard.failovers. When every
+// replica fails, the error is a typed *AllReplicasError.
+func (s *ShardClient) Submit(ctx context.Context, doc []byte, idemKey string) (Status, error) {
+	key := ContentKey(doc, idemKey)
+	errs := map[string]error{}
+	for i, base := range s.ring.sequence(key) {
+		if i > 0 {
+			s.count("shard.failovers", 1)
+		}
+		c := s.replicas[base]
+		st, err := c.Submit(ctx, doc, idemKey)
+		if err == nil {
+			s.mu.Lock()
+			s.owners[st.ID] = c
+			s.mu.Unlock()
+			return st, nil
+		}
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			return Status{}, err
+		}
+		errs[base] = err
+		if ctx.Err() != nil {
+			return Status{}, fmt.Errorf("shard: submit interrupted: %w", ctx.Err())
+		}
+	}
+	return Status{}, &AllReplicasError{Op: "submit", Key: key, Errs: errs}
+}
+
+// owner returns the replica that accepted the job, or every replica (in
+// stable order) when the id is unknown — the scatter path for callers
+// that learned a job id out of band.
+func (s *ShardClient) candidates(id string) []*Client {
+	s.mu.Lock()
+	c := s.owners[id]
+	s.mu.Unlock()
+	if c != nil {
+		return []*Client{c}
+	}
+	out := make([]*Client, 0, len(s.replicas))
+	for _, base := range s.ring.nodes {
+		out = append(out, s.replicas[base])
+	}
+	return out
+}
+
+// Status fetches a job's status from the replica that owns it,
+// scattering across all replicas when the owner is unknown.
+func (s *ShardClient) Status(ctx context.Context, id string) (Status, error) {
+	errs := map[string]error{}
+	for _, c := range s.candidates(id) {
+		st, err := c.Status(ctx, id)
+		if err == nil {
+			return st, nil
+		}
+		errs[c.Base] = err
+		if ctx.Err() != nil {
+			return Status{}, fmt.Errorf("shard: status interrupted: %w", ctx.Err())
+		}
+	}
+	return Status{}, &AllReplicasError{Op: "status", Key: id, Errs: errs}
+}
+
+// WaitResult polls the job to a terminal state on its owning replica
+// (scattering when unknown). A *JobFailedError passes through: the job
+// finished, just not successfully — that is an answer, not a reason to
+// ask another replica.
+func (s *ShardClient) WaitResult(ctx context.Context, id string, poll time.Duration) (*obs.RunReport, error) {
+	errs := map[string]error{}
+	for _, c := range s.candidates(id) {
+		rep, err := c.WaitResult(ctx, id, poll)
+		if err == nil {
+			return rep, nil
+		}
+		var jf *JobFailedError
+		if errors.As(err, &jf) {
+			return rep, err
+		}
+		errs[c.Base] = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("shard: wait interrupted: %w", ctx.Err())
+		}
+	}
+	return nil, &AllReplicasError{Op: "wait", Key: id, Errs: errs}
+}
+
+func (s *ShardClient) count(name string, n int64) {
+	s.Tracer.Counter(name).Add(n)
+}
+
+// ShardHandler wraps the engine's HTTP API in a thin proxy: submissions
+// whose consistent-hash owner is another replica are forwarded there
+// (with ring-order failover back to this replica when peers are down),
+// and status/result/trace reads for jobs this replica does not hold are
+// scattered to the peers. self and peers are base URLs; self names this
+// replica on the ring and must appear in every replica's configuration
+// identically.
+func (e *Engine) ShardHandler(self string, peers []string, client *http.Client) http.Handler {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	local := e.Handler()
+	p := &shardProxy{engine: e, local: local, self: self, ring: newHashRing(append([]string{self}, peers...)), http: client}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", p.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", p.read)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", p.read)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", p.read)
+	// Liveness, readiness and metrics are always answered locally: they
+	// describe this replica, not the cluster.
+	mux.Handle("/", local)
+	return mux
+}
+
+type shardProxy struct {
+	engine *Engine
+	local  http.Handler
+	self   string
+	ring   *hashRing
+	http   *http.Client
+}
+
+// submit routes a submission to its owning replica. The body must be
+// read up front to compute the routing key; it is re-wrapped for
+// whichever handler ends up serving it.
+func (p *shardProxy) submit(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("X-Sprout-Forwarded-By") != "" {
+		// Already routed by a peer: serve locally, never re-forward. This
+		// bounds any misconfigured ring to a single hop instead of a loop.
+		p.local.ServeHTTP(w, r)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	key := ContentKey(body, r.Header.Get("Idempotency-Key"))
+	for i, node := range p.ring.sequence(key) {
+		if i > 0 {
+			p.engine.count("shard.failovers", 1)
+		}
+		if node == p.self {
+			r2 := r.Clone(r.Context())
+			r2.Body = io.NopCloser(bytes.NewReader(body))
+			p.local.ServeHTTP(w, r2)
+			return
+		}
+		if p.forward(w, r, node, body) {
+			return
+		}
+	}
+	// Every remote owner was unreachable and self was not on the
+	// sequence (cannot happen — self is always ringed) or forwarding
+	// failed everywhere: serve locally so the cluster degrades to a
+	// single replica instead of erroring.
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	p.local.ServeHTTP(w, r2)
+}
+
+// forward proxies the submission to a peer. It reports true when the
+// peer produced any HTTP response (even a rejection — that is the
+// peer's answer, not a transport failure) and false when the peer was
+// unreachable, in which case the caller fails over.
+func (p *shardProxy) forward(w http.ResponseWriter, r *http.Request, base string, body []byte) bool {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set("X-Sprout-Forwarded-By", p.self)
+	resp, err := p.http.Do(req)
+	if err != nil {
+		p.engine.cfg.Log.Warn("shard forward failed", "peer", base, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	relay(w, resp)
+	return true
+}
+
+// read serves job status/result/trace: locally when this replica holds
+// the job, else scattered to the peers in ring order. A peer's 404
+// keeps scattering; any other peer answer is relayed as-is.
+func (p *shardProxy) read(w http.ResponseWriter, r *http.Request) {
+	if p.engine.store.Get(r.PathValue("id")) != nil || r.Header.Get("X-Sprout-Forwarded-By") != "" {
+		p.local.ServeHTTP(w, r)
+		return
+	}
+	for _, node := range p.ring.nodes {
+		if node == p.self {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, node+r.URL.RequestURI(), nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set("X-Sprout-Forwarded-By", p.self)
+		resp, err := p.http.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		relay(w, resp)
+		return
+	}
+	// Nobody has it: answer with the local 404.
+	p.local.ServeHTTP(w, r)
+}
+
+// relay copies a proxied response through verbatim.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sprout"
+	"sprout/internal/boardio"
+	"sprout/internal/obs"
+)
+
+// newTestReplica builds an engine with an instant scripted route, named
+// so its job ids reveal which replica ran a job.
+func newTestReplica(t *testing.T, name string) (*Engine, *obs.Tracer) {
+	t.Helper()
+	tr := obs.New()
+	eng := New(Config{Workers: 2, QueueDepth: 16, NodeName: name, RetryAfter: time.Second, Tracer: tr})
+	eng.route = func(ctx context.Context, dec *boardio.Decoded, opt sprout.RouteOptions) (*sprout.BoardResult, error) {
+		return &sprout.BoardResult{Report: &obs.RunReport{Tool: name}}, nil
+	}
+	eng.Start()
+	t.Cleanup(func() { _ = eng.Shutdown(context.Background()) })
+	return eng, tr
+}
+
+// swapHandler lets a test start an httptest server before the handler
+// that needs the server's own URL exists.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h = h
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not wired", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func TestHashRingDeterministicAndCovering(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	ring := newHashRing(nodes)
+	owned := map[string]int{}
+	for i := 0; i < 999; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := ring.owner(key)
+		owned[owner]++
+		seq := ring.sequence(key)
+		if len(seq) != len(nodes) {
+			t.Fatalf("sequence(%q) has %d nodes, want %d", key, len(seq), len(nodes))
+		}
+		if seq[0] != owner {
+			t.Fatalf("sequence(%q)[0] = %s, owner = %s; the owner must come first", key, seq[0], owner)
+		}
+		if owner != ring.owner(key) {
+			t.Fatalf("owner(%q) not deterministic", key)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("sequence(%q) repeats %s", key, n)
+			}
+			seen[n] = true
+		}
+	}
+	for _, n := range nodes {
+		// With 64 vnodes the split is within a few percent of even; 10%
+		// is a loose floor that still catches a broken ring.
+		if owned[n] < 100 {
+			t.Fatalf("node %s owns %d/999 keys; ring badly unbalanced: %v", n, owned[n], owned)
+		}
+	}
+}
+
+// shardFixture stands up n replicas behind plain handlers and returns
+// their URLs plus a way to reach each engine.
+func shardFixture(t *testing.T, n int) (urls []string, engines []*Engine, tracers []*obs.Tracer, servers []*httptest.Server) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		eng, tr := newTestReplica(t, fmt.Sprintf("r%d", i+1))
+		ts := httptest.NewServer(eng.Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+		engines = append(engines, eng)
+		tracers = append(tracers, tr)
+		servers = append(servers, ts)
+	}
+	return urls, engines, tracers, servers
+}
+
+// keysOwnedBy searches out keys whose ring owner is the given URL.
+func keysOwnedBy(ring *hashRing, owner string, want int) []string {
+	var keys []string
+	for i := 0; len(keys) < want && i < 100000; i++ {
+		k := fmt.Sprintf("owned-%s-%d", owner, i)
+		if ring.owner(k) == owner {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestShardClientFailover: with one of three replicas hard-down
+// (connection refused), submissions owned by the dead replica must fail
+// over along the ring and succeed, counting each hop.
+func TestShardClientFailover(t *testing.T) {
+	doc := encodeBoardDoc(t)
+	urls, _, _, servers := shardFixture(t, 3)
+	dead := urls[1]
+	servers[1].Close()
+
+	tr := obs.New()
+	sc := NewShardClient(urls, 7, func(c *Client) {
+		c.MaxAttempts = 2
+		c.BaseBackoff = time.Millisecond
+		c.MaxBackoff = 4 * time.Millisecond
+	})
+	sc.Tracer = tr
+
+	ring := newHashRing(urls)
+	keys := append(keysOwnedBy(ring, dead, 4), keysOwnedBy(ring, urls[0], 2)...)
+	ids := map[string]string{}
+	for _, key := range keys {
+		st, err := sc.Submit(context.Background(), doc, key)
+		if err != nil {
+			t.Fatalf("submit %q: %v (must fail over, not fail)", key, err)
+		}
+		if strings.HasPrefix(st.ID, "r2-") {
+			t.Fatalf("key %q landed on the dead replica", key)
+		}
+		ids[key] = st.ID
+	}
+	counters, _ := tr.MetricsSnapshot()
+	if counters["shard.failovers"] < 4 {
+		t.Fatalf("shard.failovers = %d, want >= 4 (one per dead-owned key)", counters["shard.failovers"])
+	}
+	// Every accepted job is pollable to its result through the client.
+	for key, id := range ids {
+		rep, err := sc.WaitResult(context.Background(), id, 2*time.Millisecond)
+		if err != nil || rep == nil {
+			t.Fatalf("wait %s (key %q) = (%v, %v)", id, key, rep, err)
+		}
+		if _, err := sc.Status(context.Background(), id); err != nil {
+			t.Fatalf("status %s: %v", id, err)
+		}
+	}
+}
+
+// TestShardClientAllReplicasExhausted: when every replica is draining,
+// the client must come back with the typed *AllReplicasError, not a
+// generic failure and not a hang.
+func TestShardClientAllReplicasExhausted(t *testing.T) {
+	doc := encodeBoardDoc(t)
+	urls, engines, _, _ := shardFixture(t, 3)
+	for _, eng := range engines {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := NewShardClient(urls, 7, func(c *Client) {
+		c.MaxAttempts = 1
+		c.BaseBackoff = time.Millisecond
+	})
+	_, err := sc.Submit(context.Background(), doc, "doomed")
+	var all *AllReplicasError
+	if !errors.As(err, &all) {
+		t.Fatalf("submit against a fully draining ring = %v, want *AllReplicasError", err)
+	}
+	if len(all.Errs) != 3 {
+		t.Fatalf("AllReplicasError covers %d replicas, want 3", len(all.Errs))
+	}
+}
+
+// TestShardClientRejectedStopsImmediately: a non-retryable rejection
+// (malformed document) is the same everywhere — no failover, no retries.
+func TestShardClientRejectedStopsImmediately(t *testing.T) {
+	urls, _, _, _ := shardFixture(t, 3)
+	tr := obs.New()
+	sc := NewShardClient(urls, 7, nil)
+	sc.Tracer = tr
+	_, err := sc.Submit(context.Background(), []byte("{not json"), "bad")
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Code != http.StatusBadRequest {
+		t.Fatalf("malformed submit = %v, want *RejectedError with 400", err)
+	}
+	counters, _ := tr.MetricsSnapshot()
+	if counters["shard.failovers"] != 0 {
+		t.Fatalf("shard.failovers = %d after a 400, want 0", counters["shard.failovers"])
+	}
+}
+
+// shardProxyFixture stands up n replicas in proxy mode (ShardHandler),
+// each knowing the others as peers.
+func shardProxyFixture(t *testing.T, n int) (urls []string, engines []*Engine, tracers []*obs.Tracer, servers []*httptest.Server) {
+	t.Helper()
+	swaps := make([]*swapHandler, n)
+	for i := 0; i < n; i++ {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+		servers = append(servers, ts)
+	}
+	for i := 0; i < n; i++ {
+		eng, tr := newTestReplica(t, fmt.Sprintf("r%d", i+1))
+		engines = append(engines, eng)
+		tracers = append(tracers, tr)
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		swaps[i].set(eng.ShardHandler(urls[i], peers, nil))
+	}
+	return urls, engines, tracers, servers
+}
+
+// TestShardProxyRoutesToOwner: submissions posted to any replica land on
+// their consistent-hash owner, and reads for the job work from every
+// replica via the scatter path.
+func TestShardProxyRoutesToOwner(t *testing.T) {
+	doc := encodeBoardDoc(t)
+	urls, _, _, _ := shardProxyFixture(t, 3)
+	ring := newHashRing(urls)
+
+	post := func(base, key string) Status {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %q = %d", key, resp.StatusCode)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// All submissions go to replica 1; job-id prefixes expose who ran them.
+	names := map[string]string{urls[0]: "r1", urls[1]: "r2", urls[2]: "r3"}
+	spread := map[string]bool{}
+	for i := 0; i < 9; i++ {
+		key := fmt.Sprintf("proxy-%d", i)
+		st := post(urls[0], key)
+		wantOwner := names[ring.owner(key)]
+		if !strings.HasPrefix(st.ID, wantOwner+"-") {
+			t.Fatalf("key %q ran as %s, want owner %s", key, st.ID, wantOwner)
+		}
+		spread[wantOwner] = true
+
+		// The job is readable from a replica that does not hold it.
+		other := urls[2]
+		if ring.owner(key) == other {
+			other = urls[1]
+		}
+		resp, err := http.Get(other + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cross-replica status for %s = %d, want 200", st.ID, resp.StatusCode)
+		}
+	}
+	if len(spread) < 2 {
+		t.Fatalf("9 keys all landed on one replica (%v); ring not spreading", spread)
+	}
+
+	// A byte-identical keyless retry routes to the same replica and
+	// content-dedupes there: one job cluster-wide.
+	a := post(urls[0], "")
+	b := post(urls[1], "")
+	if a.ID != b.ID {
+		t.Fatalf("keyless equivalent submissions landed on %s and %s, want one job", a.ID, b.ID)
+	}
+
+	// Unknown ids 404 from every replica after the scatter.
+	resp, err := http.Get(urls[1] + "/v1/jobs/no-such-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestShardProxyFailover: a submission owned by a dead peer must be
+// served by the next replica on the ring instead of erroring.
+func TestShardProxyFailover(t *testing.T) {
+	doc := encodeBoardDoc(t)
+	urls, _, tracers, servers := shardProxyFixture(t, 3)
+	ring := newHashRing(urls)
+	servers[1].Close() // r2 is gone
+
+	keys := keysOwnedBy(ring, urls[1], 3)
+	for _, key := range keys {
+		req, err := http.NewRequest(http.MethodPost, urls[0]+"/v1/jobs", bytes.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Status
+		if derr := json.NewDecoder(resp.Body).Decode(&st); derr != nil {
+			t.Fatal(derr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %q through dead owner = %d", key, resp.StatusCode)
+		}
+		if strings.HasPrefix(st.ID, "r2-") {
+			t.Fatalf("key %q reportedly ran on the dead replica as %s", key, st.ID)
+		}
+	}
+	counters, _ := tracers[0].MetricsSnapshot()
+	if counters["shard.failovers"] < int64(len(keys)) {
+		t.Fatalf("shard.failovers = %d, want >= %d", counters["shard.failovers"], len(keys))
+	}
+}
+
+// TestShardMultiReplicaDrainUnderLoad is the sharded half of the chaos
+// suite: concurrent clients submit through the shard client while one of
+// three replicas drains mid-load (PR 4 semantics: 503 + Retry-After).
+// Every submission must succeed — retried onto the draining replica's
+// successor — and every accepted job must reach a terminal state
+// somewhere in the cluster.
+func TestShardMultiReplicaDrainUnderLoad(t *testing.T) {
+	doc := encodeBoardDoc(t)
+	urls, engines, _, _ := shardFixture(t, 3)
+
+	tr := obs.New()
+	sc := NewShardClient(urls, 11, func(c *Client) {
+		c.MaxAttempts = 2
+		c.BaseBackoff = time.Millisecond
+		c.MaxBackoff = 4 * time.Millisecond
+	})
+	sc.Tracer = tr
+
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	const clients, perClient = 3, 8
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				st, err := sc.Submit(context.Background(), doc, fmt.Sprintf("drain-%d-%d", ci, i))
+				if err != nil {
+					t.Errorf("submit %d-%d: %v (two replicas stayed up; no submission may fail)", ci, i, err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, st.ID)
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	// Drain replica 1 while the load runs.
+	if err := engines[0].Shutdown(context.Background()); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	wg.Wait()
+
+	// After the drain, keys owned by the drained replica must still be
+	// accepted (failover), and the hop counter must show it happened.
+	ring := newHashRing(urls)
+	for _, key := range keysOwnedBy(ring, urls[0], 3) {
+		st, err := sc.Submit(context.Background(), doc, key)
+		if err != nil {
+			t.Fatalf("post-drain submit %q: %v", key, err)
+		}
+		if strings.HasPrefix(st.ID, "r1-") {
+			t.Fatalf("post-drain key %q accepted by the draining replica as %s", key, st.ID)
+		}
+		mu.Lock()
+		ids = append(ids, st.ID)
+		mu.Unlock()
+	}
+	counters, _ := tr.MetricsSnapshot()
+	if counters["shard.failovers"] < 3 {
+		t.Fatalf("shard.failovers = %d, want >= 3", counters["shard.failovers"])
+	}
+
+	// Zero accepted-job loss, cluster-wide: every id resolves to a
+	// terminal state through the shard client (drained replicas keep
+	// serving reads).
+	for _, id := range ids {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		rep, err := sc.WaitResult(ctx, id, 2*time.Millisecond)
+		cancel()
+		var jf *JobFailedError
+		switch {
+		case err == nil:
+			if rep == nil {
+				t.Fatalf("job %s done with no report", id)
+			}
+		case errors.As(err, &jf):
+			// Terminal failure (e.g. caught by the drain sweep) is an
+			// answer; a vanished job is not.
+			if jf.Status.ErrorKind != KindShutdown {
+				t.Fatalf("job %s failed with kind %s: %s", id, jf.Status.ErrorKind, jf.Status.Error)
+			}
+		default:
+			t.Fatalf("job %s unresolved: %v", id, err)
+		}
+	}
+}

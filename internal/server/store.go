@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,8 +79,12 @@ func classify(err error) ErrKind {
 type Job struct {
 	id      string
 	idemKey string
-	state   JobState
-	board   string
+	// hash is the canonical content identity of the submission ("" when
+	// the submission carried no parseable document). Equivalent
+	// submissions singleflight onto the job registered under their hash.
+	hash  string
+	state JobState
+	board string
 
 	submitted time.Time
 	started   time.Time
@@ -90,6 +96,10 @@ type Job struct {
 	// doc and opt are the decoded request, consumed by the worker.
 	doc *boardio.Decoded
 	opt sprout.RouteOptions
+	// raw is the canonical document encoding, kept by the persistent
+	// store so the job can be re-decoded and re-run after a crash (nil in
+	// the in-memory store, and cleared once the job is terminal).
+	raw []byte
 	// explore marks an order-exploration job (worker calls the explore
 	// function instead of the route function).
 	explore bool
@@ -105,6 +115,9 @@ type Job struct {
 	// the run — successful or failed — can be fetched afterwards.
 	tracer *obs.Tracer
 }
+
+// ID returns the job id (stable across restarts of a persistent store).
+func (j *Job) ID() string { return j.id }
 
 // ExplorationSummary is the status-surface digest of an exploration
 // job: the winning order and how the sweep went.
@@ -131,8 +144,8 @@ type Status struct {
 	// Exploration carries the order-sweep digest for exploration jobs
 	// once the worker finished the sweep (nil otherwise).
 	Exploration *ExplorationSummary `json:"exploration,omitempty"`
-	// Deduped marks a submission that was answered from an existing job
-	// via its idempotency key.
+	// Deduped marks a submission that was answered from an existing job,
+	// via its idempotency key or its canonical content hash.
 	Deduped bool `json:"deduped,omitempty"`
 	// Error and ErrorKind are set on failed jobs.
 	Error     string  `json:"error,omitempty"`
@@ -142,74 +155,200 @@ type Status struct {
 	RunMS   float64 `json:"run_ms,omitempty"`
 }
 
-// store is the idempotent in-memory job table. It outlives the worker
+// JobSpec is the store-facing shape of one submission, assembled by the
+// engine's Submit path.
+type JobSpec struct {
+	// IdemKey is the client idempotency key ("" = none).
+	IdemKey string
+	// Hash is the canonical content hash of the document ("" disables
+	// content dedupe for this submission).
+	Hash string
+	// Raw is the canonical document encoding; the persistent store
+	// appends it to the accept record so the job survives a crash.
+	Raw []byte
+	// Doc and Opt are the decoded request the worker consumes.
+	Doc *boardio.Decoded
+	Opt sprout.RouteOptions
+	// Timeout is the per-job deadline; Explore selects the exploration
+	// worker path.
+	Timeout time.Duration
+	Explore bool
+}
+
+// DedupeKind reports how Create matched a submission to an existing job.
+type DedupeKind int
+
+const (
+	// DedupeNone: a fresh job was created.
+	DedupeNone DedupeKind = iota
+	// DedupeKey: the idempotency key had been seen before.
+	DedupeKey
+	// DedupeContent: a byte-different but canonically equivalent document
+	// singleflighted onto an existing live job.
+	DedupeContent
+)
+
+// JobStore is the job table behind the engine: idempotent creation,
+// lifecycle transitions with terminal-once semantics, and snapshots for
+// the HTTP surface. Two implementations exist: the in-memory memStore
+// (PR 4 semantics — results live until the process exits) and the
+// crash-safe persistStore (WAL + snapshot on disk; accepted jobs survive
+// a SIGKILL and are re-enqueued on the next start).
+//
+// Every implementation must keep the terminal-once invariant: Finish
+// transitions a job at most once, and late writers are dropped.
+type JobStore interface {
+	// Create registers a new queued job, or returns the existing one the
+	// submission dedupes onto (dedupe != DedupeNone). A non-nil error
+	// means the job could not be made durable and was not registered.
+	Create(spec JobSpec, now time.Time) (j *Job, dedupe DedupeKind, err error)
+	// Drop removes a job that was never accepted (queue full). Dropping
+	// is not loss: the submitter got a 429 and knows to retry.
+	Drop(j *Job)
+	// Get returns the job by id (nil when unknown).
+	Get(id string) *Job
+	// SetRunning transitions a queued job to running and hands the worker
+	// its payload; ok=false when the job already went terminal.
+	SetRunning(j *Job, tracer *obs.Tracer, now time.Time) (doc *boardio.Decoded, opt sprout.RouteOptions, explore, ok bool)
+	// NoteExploration records the sweep digest of an exploration job.
+	NoteExploration(j *Job, ex *sprout.OrderExploration)
+	// Finish transitions a job to its terminal state exactly once; the
+	// return reports whether this call was the terminal transition.
+	Finish(j *Job, report *obs.RunReport, err error, now time.Time) bool
+	// NonTerminal snapshots every job not yet terminal.
+	NonTerminal() []*Job
+	// Status and Result snapshot a job for the HTTP layer.
+	Status(j *Job) Status
+	Result(j *Job) (*obs.RunReport, *obs.Tracer)
+	// Recovered returns the jobs a restart found accepted but unfinished,
+	// in original acceptance order; the engine re-enqueues them on Start.
+	// Empty for the in-memory store.
+	Recovered() []*Job
+	// Close releases store resources (fsyncs and closes the WAL). The
+	// in-memory store's Close is a no-op.
+	Close() error
+}
+
+// memStore is the idempotent in-memory job table. It outlives the worker
 // pool: results stay fetchable after the drain so clients can collect
 // the outcome of every accepted job.
-type store struct {
-	mu    sync.Mutex
-	next  int
-	jobs  map[string]*Job
-	byKey map[string]string // idempotency key -> job id
+type memStore struct {
+	mu     sync.Mutex
+	prefix string
+	next   int
+	jobs   map[string]*Job
+	byKey  map[string]string // idempotency key -> job id
+	byHash map[string]string // canonical content hash -> job id
 }
 
-func newStore() *store {
-	return &store{jobs: map[string]*Job{}, byKey: map[string]string{}}
+func newMemStore(prefix string) *memStore {
+	return &memStore{prefix: prefix, jobs: map[string]*Job{}, byKey: map[string]string{}, byHash: map[string]string{}}
 }
 
-// create registers a new queued job, or returns the existing one when
-// the idempotency key has been seen before (existing=true). The caller
-// must remove the job with drop if admission subsequently rejects it.
-func (s *store) create(idemKey string, doc *boardio.Decoded, opt sprout.RouteOptions, timeout time.Duration, explore bool, now time.Time) (j *Job, existing bool) {
+// jobID formats the id for the n-th job of this store. The optional
+// prefix (Config.NodeName) makes ids unique across replicas, which the
+// shard proxy's scatter-on-miss lookup relies on.
+func (s *memStore) jobID(n int) string {
+	if s.prefix != "" {
+		return fmt.Sprintf("%s-job-%d", s.prefix, n)
+	}
+	return fmt.Sprintf("job-%d", n)
+}
+
+// jobSeq parses the sequence number back out of an id minted by jobID
+// (ok=false for foreign ids). The persistent store uses it to restore
+// the id counter from a replayed log.
+func (s *memStore) jobSeq(id string) (int, bool) {
+	rest, found := strings.CutPrefix(id, "job-")
+	if s.prefix != "" {
+		rest, found = strings.CutPrefix(id, s.prefix+"-job-")
+	}
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Create registers a new queued job, or returns the existing job this
+// submission dedupes onto: by idempotency key first, else — only for
+// keyless submissions — by canonical content hash. A submission that
+// carries a fresh explicit key is honored as a distinct run even when
+// its content matches an existing job. Failed jobs never absorb new
+// submissions: their hash registration is cleared so an equivalent
+// resubmission gets a fresh attempt.
+func (s *memStore) Create(spec JobSpec, now time.Time) (j *Job, dedupe DedupeKind, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if idemKey != "" {
-		if id, ok := s.byKey[idemKey]; ok {
-			return s.jobs[id], true
+	if spec.IdemKey != "" {
+		if id, ok := s.byKey[spec.IdemKey]; ok {
+			return s.jobs[id], DedupeKey, nil
+		}
+	} else if spec.Hash != "" {
+		if id, ok := s.byHash[spec.Hash]; ok {
+			return s.jobs[id], DedupeContent, nil
 		}
 	}
 	s.next++
 	j = &Job{
-		id:        fmt.Sprintf("job-%d", s.next),
-		idemKey:   idemKey,
+		id:        s.jobID(s.next),
+		idemKey:   spec.IdemKey,
+		hash:      spec.Hash,
 		state:     StateQueued,
-		board:     doc.Board.Name,
+		board:     spec.Doc.Board.Name,
 		submitted: now,
-		doc:       doc,
-		opt:       opt,
-		explore:   explore,
-		timeout:   timeout,
+		doc:       spec.Doc,
+		opt:       spec.Opt,
+		raw:       spec.Raw,
+		explore:   spec.Explore,
+		timeout:   spec.Timeout,
 	}
-	s.jobs[j.id] = j
-	if idemKey != "" {
-		s.byKey[idemKey] = j.id
-	}
-	return j, false
+	s.insertLocked(j)
+	return j, DedupeNone, nil
 }
 
-// drop removes a job that was never accepted (queue full). Dropping is
-// not loss: the submitter got a 429 and knows to retry.
-func (s *store) drop(j *Job) {
+// insertLocked registers a job in the tables. Callers hold s.mu.
+func (s *memStore) insertLocked(j *Job) {
+	s.jobs[j.id] = j
+	if j.idemKey != "" {
+		s.byKey[j.idemKey] = j.id
+	}
+	if j.hash != "" {
+		if _, taken := s.byHash[j.hash]; !taken {
+			s.byHash[j.hash] = j.id
+		}
+	}
+}
+
+// Drop removes a job that was never accepted (queue full).
+func (s *memStore) Drop(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.jobs, j.id)
 	if j.idemKey != "" {
 		delete(s.byKey, j.idemKey)
 	}
+	if j.hash != "" && s.byHash[j.hash] == j.id {
+		delete(s.byHash, j.hash)
+	}
 }
 
-// get returns the job by id (nil when unknown).
-func (s *store) get(id string) *Job {
+// Get returns the job by id (nil when unknown).
+func (s *memStore) Get(id string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.jobs[id]
 }
 
-// setRunning transitions a queued job to running and hands the worker
+// SetRunning transitions a queued job to running and hands the worker
 // its payload. Returns ok=false when the job already reached a terminal
 // state (e.g. failed by the drain sweep racing the worker), in which
 // case the worker must not run it. The payload is read under the store
 // lock so the worker never touches fields a finish may clear.
-func (s *store) setRunning(j *Job, tracer *obs.Tracer, now time.Time) (doc *boardio.Decoded, opt sprout.RouteOptions, explore, ok bool) {
+func (s *memStore) SetRunning(j *Job, tracer *obs.Tracer, now time.Time) (doc *boardio.Decoded, opt sprout.RouteOptions, explore, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j.state.Terminal() {
@@ -221,9 +360,9 @@ func (s *store) setRunning(j *Job, tracer *obs.Tracer, now time.Time) (doc *boar
 	return j.doc, j.opt, j.explore, true
 }
 
-// noteExploration records the sweep digest of an exploration job before
+// NoteExploration records the sweep digest of an exploration job before
 // it goes terminal, so the status surface can report the winning order.
-func (s *store) noteExploration(j *Job, ex *sprout.OrderExploration) {
+func (s *memStore) NoteExploration(j *Job, ex *sprout.OrderExploration) {
 	sum := &ExplorationSummary{
 		BestScore:    ex.BestScore,
 		OrdersTried:  ex.Tried,
@@ -239,12 +378,16 @@ func (s *store) noteExploration(j *Job, ex *sprout.OrderExploration) {
 	j.exploration = sum
 }
 
-// finish transitions a job to its terminal state exactly once; late
+// Finish transitions a job to its terminal state exactly once; late
 // writers (a worker completing after the drain sweep already failed the
 // job) are dropped, keeping the first terminal outcome authoritative.
-func (s *store) finish(j *Job, report *obs.RunReport, err error, now time.Time) bool {
+func (s *memStore) Finish(j *Job, report *obs.RunReport, err error, now time.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.finishLocked(j, report, err, now)
+}
+
+func (s *memStore) finishLocked(j *Job, report *obs.RunReport, err error, now time.Time) bool {
 	if j.state.Terminal() {
 		return false
 	}
@@ -253,18 +396,24 @@ func (s *store) finish(j *Job, report *obs.RunReport, err error, now time.Time) 
 	// The decoded board is dead weight once the job is terminal; free it
 	// so a long-lived server does not accumulate every board ever routed.
 	j.doc = nil
+	j.raw = nil
 	if err != nil {
 		j.state = StateFailed
 		j.err = err
 		j.kind = classify(err)
+		// A failed job must not absorb equivalent resubmissions — clear
+		// its content registration so the next one runs fresh.
+		if j.hash != "" && s.byHash[j.hash] == j.id {
+			delete(s.byHash, j.hash)
+		}
 	} else {
 		j.state = StateDone
 	}
 	return true
 }
 
-// nonTerminal snapshots every job that has not reached a terminal state.
-func (s *store) nonTerminal() []*Job {
+// NonTerminal snapshots every job that has not reached a terminal state.
+func (s *memStore) NonTerminal() []*Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []*Job
@@ -276,8 +425,8 @@ func (s *store) nonTerminal() []*Job {
 	return out
 }
 
-// status snapshots a job for the HTTP layer.
-func (s *store) status(j *Job) Status {
+// Status snapshots a job for the HTTP layer.
+func (s *memStore) Status(j *Job) Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Status{ID: j.id, State: j.state, Board: j.board, Exploration: j.exploration}
@@ -297,9 +446,15 @@ func (s *store) status(j *Job) Status {
 	return st
 }
 
-// result returns the job's report and tracer (both may be nil).
-func (s *store) result(j *Job) (*obs.RunReport, *obs.Tracer) {
+// Result returns the job's report and tracer (both may be nil).
+func (s *memStore) Result(j *Job) (*obs.RunReport, *obs.Tracer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return j.report, j.tracer
 }
+
+// Recovered is empty for the in-memory store: nothing survives restart.
+func (s *memStore) Recovered() []*Job { return nil }
+
+// Close is a no-op for the in-memory store.
+func (s *memStore) Close() error { return nil }
