@@ -1,6 +1,9 @@
-// Command sproutlint runs the SPROUT analyzer suite — ctxdelegate,
-// errwrap, faultpoint, floateq, mustcheck — over the named package
-// patterns (default ./...) and prints compiler-style findings.
+// Command sproutlint runs the SPROUT analyzer suite — atomicmix,
+// ctxdelegate, errwrap, faultpoint, floateq, goroleak, lockcheck,
+// mustcheck — over the named package patterns (default ./...) and
+// prints compiler-style findings. The concurrency analyzers (lockcheck,
+// goroleak) are flow-aware: they share a per-function control-flow
+// graph built once per package by the cfg pass.
 //
 //	go run ./cmd/sproutlint ./...
 //
@@ -9,8 +12,9 @@
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// on the offending line or the line directly above it; the reason is
-// mandatory and itself linted.
+// on the offending line or the line directly above it, or a whole file
+// with //lint:file-ignore; in both forms the reason is mandatory and
+// itself linted.
 package main
 
 import (

@@ -23,8 +23,15 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by `sproutlint -help`.
 	Doc string
-	// Run executes the analyzer over one package.
-	Run func(*Pass) error
+	// Requires lists analyzers whose results this one consumes. The
+	// driver runs requirements first (once per package, shared between
+	// dependents) and delivers their return values in Pass.ResultOf.
+	// Mirrors the x/tools Requires/ResultOf contract.
+	Requires []*Analyzer
+	// Run executes the analyzer over one package. The returned value is
+	// delivered to dependent analyzers via Pass.ResultOf; analyzers
+	// nobody depends on return nil.
+	Run func(*Pass) (any, error)
 }
 
 // Pass is the interface between the driver and one analyzer run over one
@@ -40,6 +47,9 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo carries Types, Defs, Uses and Selections for Files.
 	TypesInfo *types.Info
+	// ResultOf holds the return values of the analyzers listed in
+	// Analyzer.Requires, keyed by analyzer, for this package.
+	ResultOf map[*Analyzer]any
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 }

@@ -86,9 +86,26 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			ResultOf:  map[*analysis.Analyzer]any{},
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
-		if err := a.Run(pass); err != nil {
+		// Run Requires dependencies first, exactly as the driver does;
+		// their diagnostics (normally none — the cfg pass only computes)
+		// are checked against want comments too.
+		for _, req := range requirementOrder(a) {
+			rpass := *pass
+			rpass.Analyzer = req
+			rpass.ResultOf = map[*analysis.Analyzer]any{}
+			for _, rr := range req.Requires {
+				rpass.ResultOf[rr] = pass.ResultOf[rr]
+			}
+			res, err := req.Run(&rpass)
+			if err != nil {
+				t.Fatalf("analysistest: requirement %s on %s: %v", req.Name, path, err)
+			}
+			pass.ResultOf[req] = res
+		}
+		if _, err := a.Run(pass); err != nil {
 			t.Fatalf("analysistest: %s on %s: %v", a.Name, path, err)
 		}
 		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
@@ -117,6 +134,28 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 			}
 		}
 	}
+}
+
+// requirementOrder returns a's transitive requirements in dependency
+// order (requirements before dependents, a itself excluded).
+func requirementOrder(a *analysis.Analyzer) []*analysis.Analyzer {
+	var order []*analysis.Analyzer
+	seen := map[*analysis.Analyzer]bool{a: true}
+	var visit func(x *analysis.Analyzer)
+	visit = func(x *analysis.Analyzer) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, req := range x.Requires {
+			visit(req)
+		}
+		order = append(order, x)
+	}
+	for _, req := range a.Requires {
+		visit(req)
+	}
+	return order
 }
 
 // unquote decodes a double-quoted or backquoted want token.

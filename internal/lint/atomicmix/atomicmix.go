@@ -1,0 +1,127 @@
+// Package atomicmix reports mixed atomic/plain access: once any code in
+// a package touches a variable or field through sync/atomic, every other
+// access must be atomic too. A plain read next to an atomic.Store is a
+// data race the race detector only catches when both sides happen to
+// fire — the gate fields this guards (the obs enable flag, sproutd's
+// admission counters) flip rarely, so the mix survives tests and
+// corrupts state in production.
+//
+// The pass is two package-wide sweeps: the first collects every object
+// whose address is passed to a sync/atomic function, the second reports
+// any other use of those objects. Composite-literal field keys are
+// deliberately exempt — `counter{hits: 0}` initialises a value nothing
+// else can see yet, and flagging it would force atomics on constructors.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"sprout/internal/lint/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Sweep 1: objects addressed by sync/atomic calls, with the position
+	// of the first such call (quoted in diagnostics), plus the operand
+	// subtrees so sweep 2 does not report the atomic accesses themselves.
+	atomicObjs := map[types.Object]token.Pos{}
+	operands := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := addressedObject(pass, addr.X); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+				}
+				operands[addr] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil, nil
+	}
+
+	// Sweep 2: any other use of those objects is a plain — racy — access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if operands[n] {
+				return false // the atomic call's own &x operand
+			}
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if v, isVar := pass.TypesInfo.Uses[id].(*types.Var); isVar && v.IsField() {
+						ast.Inspect(kv.Value, func(m ast.Node) bool { return inspectIdent(pass, m, atomicObjs, operands) })
+						return false // field key: composite-literal init
+					}
+				}
+			}
+			return inspectIdent(pass, n, atomicObjs, operands)
+		})
+	}
+	return nil, nil
+}
+
+// inspectIdent reports n if it is a use of an atomically-accessed object.
+func inspectIdent(pass *analysis.Pass, n ast.Node, atomicObjs map[types.Object]token.Pos, operands map[ast.Node]bool) bool {
+	if operands[n] {
+		return false
+	}
+	id, ok := n.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true
+	}
+	if firstAt, ok := atomicObjs[obj]; ok {
+		at := pass.Fset.Position(firstAt)
+		pass.Reportf(id.Pos(), "non-atomic access of %s, which is accessed with sync/atomic at %s:%d",
+			obj.Name(), filepath.Base(at.Filename), at.Line)
+	}
+	return true
+}
+
+// addressedObject resolves &x's x to the variable or field object it
+// names, or nil when the operand is not a plain variable/field (an index
+// expression, a call result, ...).
+func addressedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.ParenExpr:
+		return addressedObject(pass, e.X)
+	}
+	return nil
+}

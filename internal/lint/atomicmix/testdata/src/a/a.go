@@ -1,0 +1,63 @@
+// Package a is the atomicmix corpus: once a field or var is touched
+// through sync/atomic, every other access must be atomic too.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64 // accessed atomically — plain access elsewhere is a race
+	cold int64 // never touched atomically — plain access is fine
+}
+
+// Inc is the access that puts hits in the atomic set.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Snapshot reads atomically: clean.
+func (c *counter) Snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// PlainRead races with Inc.
+func (c *counter) PlainRead() int64 {
+	return c.hits // want `non-atomic access of hits, which is accessed with sync/atomic at a\.go:\d+`
+}
+
+// PlainWrite races with Inc.
+func (c *counter) PlainWrite() {
+	c.hits = 0 // want `non-atomic access of hits`
+}
+
+// ColdAccess touches the never-atomic field: clean.
+func (c *counter) ColdAccess() int64 {
+	c.cold++
+	return c.cold
+}
+
+// NewCounter initialises by composite-literal key: deliberately exempt —
+// the value is unshared until the constructor returns.
+func NewCounter() *counter {
+	return &counter{hits: 0, cold: 0}
+}
+
+// gate is a package-level flag flipped atomically.
+var gate int32
+
+// Arm stores atomically.
+func Arm() {
+	atomic.StoreInt32(&gate, 1)
+}
+
+// Armed mixes in a plain read.
+func Armed() bool {
+	return gate == 1 // want `non-atomic access of gate`
+}
+
+// plain is only ever accessed without atomics: clean everywhere.
+var plain int32
+
+// Bump is a plain increment of a plain var.
+func Bump() {
+	plain++
+}

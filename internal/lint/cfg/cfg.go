@@ -1,0 +1,461 @@
+// Package cfg builds per-function control-flow graphs over go/ast and
+// runs forward dataflow problems to a fixpoint over them (dataflow.go).
+// It is the flow-analysis substrate for the concurrency analyzers
+// (lockcheck, goroleak, atomicmix): they declare cfg.Analyzer in their
+// Requires list and receive the package's graphs through Pass.ResultOf,
+// so the graphs are built once per package no matter how many analyzers
+// consume them.
+//
+// The graph is deliberately small: basic blocks of statements (and the
+// controlling expressions of branches) connected by edges for if/else,
+// loops (including range), switch/type-switch (with fallthrough),
+// select, and break/continue/goto/return. A synthetic Exit block
+// collects every normal return path — paths that end in panic or
+// os.Exit do not reach it, so "on all paths" analyses (lock pairing)
+// naturally exempt dying paths. Defer statements appear as ordinary
+// nodes; analyzers interpret their at-exit semantics themselves.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+
+	"sprout/internal/lint/analysis"
+)
+
+// Block is one basic block: nodes that execute sequentially, followed by
+// a branch to one of Succs (no successors = the path ends here, either
+// at the synthetic exit or by panicking).
+type Block struct {
+	// Index is the block's position in Graph.Blocks (entry = 0).
+	Index int
+	// Nodes are the block's statements and controlling expressions in
+	// execution order. Analyzers walking a node's subtree should use
+	// Inspect, which does not descend into nested function literals.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function or function literal.
+type Graph struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Fn ast.Node
+	// Name is the declared function name ("func literal" for literals),
+	// for diagnostics.
+	Name string
+	// Blocks lists every block; Blocks[0] is the entry.
+	Blocks []*Block
+	// Exit is the synthetic block every return path feeds into. It holds
+	// no nodes.
+	Exit *Block
+	// SelectComms marks the comm statements of select clauses (the
+	// `v := <-ch` in `case v := <-ch:`). Their channel operation is the
+	// select's, already represented by the SelectStmt node — analyzers
+	// treating sends/receives as blocking points must not count these
+	// twice.
+	SelectComms map[ast.Node]bool
+}
+
+// Entry returns the function's entry block.
+func (g *Graph) Entry() *Block { return g.Blocks[0] }
+
+// Result is the value cfg.Analyzer delivers through Pass.ResultOf.
+type Result struct {
+	// Funcs maps each *ast.FuncDecl and *ast.FuncLit with a body to its
+	// graph.
+	Funcs map[ast.Node]*Graph
+	// All lists the same graphs in source order, for deterministic
+	// iteration (map order would scramble diagnostic order).
+	All []*Graph
+}
+
+// Analyzer builds the package's control-flow graphs. It reports no
+// diagnostics; it exists to be listed in other analyzers' Requires.
+var Analyzer = &analysis.Analyzer{
+	Name: "cfgbuild",
+	Doc:  "builds per-function control-flow graphs consumed by the flow-aware analyzers (reports nothing itself)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := &Result{Funcs: map[ast.Node]*Graph{}}
+	build := func(fn ast.Node, name string, body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		g := buildGraph(fn, name, body)
+		res.Funcs[fn] = g
+		res.All = append(res.All, g)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				build(n, n.Name.Name, n.Body)
+			case *ast.FuncLit:
+				build(n, "func literal", n.Body)
+			}
+			return true
+		})
+	}
+	return res, nil
+}
+
+// Inspect walks node's subtree like ast.Inspect but does not descend
+// into nested function literals — their bodies belong to their own
+// graphs, not to the block being analyzed.
+func Inspect(node ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != node {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// frame is one enclosing breakable/continuable construct during the
+// build.
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type gotoPatch struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil after a terminating statement
+	frames []frame
+	// fallTo is the next case clause while building a switch clause
+	// body (the fallthrough target), nil in the last clause.
+	fallTo *Block
+	labels map[string]*Block
+	gotos  []gotoPatch
+	// pendingLabel is set by a LabeledStmt so the labeled loop or
+	// switch registers its frame under that name.
+	pendingLabel string
+}
+
+func buildGraph(fn ast.Node, name string, body *ast.BlockStmt) *Graph {
+	g := &Graph{Fn: fn, Name: name, SelectComms: map[ast.Node]bool{}}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	entry := b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit) // implicit return off the end of the body
+	for _, p := range b.gotos {
+		if target, ok := b.labels[p.label]; ok {
+			b.edge(p.from, target)
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge adds from→to, tolerating a nil from (unreachable path).
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block, starting a fresh (unreachable)
+// block if the path already terminated — unreachable code still gets
+// blocks so its nodes are visible to flow-insensitive walks.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.ensure()
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) ensure() {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct registering a
+// frame.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findBreak returns the break target for the optionally labeled break.
+func (b *builder) findBreak(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == "" || f.label == label {
+			return f.breakTo
+		}
+	}
+	return nil
+}
+
+// findContinue returns the continue target (loops only).
+func (b *builder) findContinue(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f.continueTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	b.ensure()
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		blk := b.newBlock()
+		b.edge(b.cur, blk)
+		b.cur = blk
+		b.labels[s.Label.Name] = blk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(cond, thenBlk)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(cond, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		b.cur = header
+		b.add(s.Cond)
+		exit := b.newBlock()
+		continueTo := header
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			continueTo = post
+		}
+		if s.Cond != nil {
+			b.edge(header, exit)
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		b.frames = append(b.frames, frame{label: label, breakTo: exit, continueTo: continueTo})
+		b.cur = body
+		b.stmt(s.Body)
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.add(s.Post)
+			b.edge(post, header)
+		} else {
+			b.edge(b.cur, header)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		b.cur = header
+		b.add(s) // the range node itself: analyzers see `range ch`
+		exit := b.newBlock()
+		body := b.newBlock()
+		b.edge(header, exit)
+		b.edge(header, body)
+		b.frames = append(b.frames, frame{label: label, breakTo: exit, continueTo: header})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, header)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s) // the select node marks the blocking point
+		header := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, breakTo: join})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(header, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.g.SelectComms[cc.Comm] = true
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.cur, b.findBreak(label))
+		case token.CONTINUE:
+			b.edge(b.cur, b.findContinue(label))
+		case token.GOTO:
+			b.gotos = append(b.gotos, gotoPatch{from: b.cur, label: label})
+		case token.FALLTHROUGH:
+			b.edge(b.cur, b.fallTo)
+		}
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminates(s.X) {
+			b.cur = nil // panic/os.Exit: the path dies without returning
+		}
+
+	default:
+		// Assignments, declarations, sends, incdec, go, defer: plain
+		// nodes. Send blocking-ness and defer at-exit semantics are the
+		// analyzers' concern.
+		b.add(s)
+	}
+}
+
+// switchStmt builds both expression and type switches: header → each
+// clause, fallthrough chaining clause i to clause i+1, and an edge past
+// the switch when there is no default clause.
+func (b *builder) switchStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Tag)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		body = s.Body
+	}
+	b.ensure()
+	header := b.cur
+	join := b.newBlock()
+	clauses := body.List
+	blks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blks[i] = b.newBlock()
+		b.edge(header, blks[i])
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: join})
+	savedFall := b.fallTo
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.fallTo = nil
+		if i+1 < len(clauses) {
+			b.fallTo = blks[i+1]
+		}
+		b.cur = blks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.fallTo = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.edge(header, join)
+	}
+	b.cur = join
+}
+
+// terminates reports whether the expression statement is a call that
+// never returns: the panic builtin, os.Exit, or runtime.Goexit.
+func terminates(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,322 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parse builds the graph of the first function declared in src.
+func parse(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return buildGraph(fd, fd.Name.Name, fd.Body)
+		}
+	}
+	t.Fatal("no function in src")
+	return nil
+}
+
+// reachable returns the block indices reachable from the entry.
+func reachable(g *Graph) []int {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry())
+	var idx []int
+	for b := range seen {
+		idx = append(idx, b.Index)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// preds computes the predecessor sets.
+func preds(g *Graph) map[*Block][]*Block {
+	p := map[*Block][]*Block{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			p[s] = append(p[s], b)
+		}
+	}
+	return p
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := parse(t, `func f(x bool) int {
+	a := 1
+	if x {
+		a = 2
+	} else {
+		a = 3
+	}
+	return a
+}`)
+	pr := preds(g)
+	if len(pr[g.Exit]) != 1 {
+		t.Fatalf("want 1 exit pred (the join), got %d", len(pr[g.Exit]))
+	}
+	join := pr[g.Exit][0]
+	if len(pr[join]) != 2 {
+		t.Errorf("want then+else feeding the join, got %d preds", len(pr[join]))
+	}
+}
+
+func TestEarlyReturnBypassesJoin(t *testing.T) {
+	g := parse(t, `func f(x bool) int {
+	if x {
+		return 1
+	}
+	return 2
+}`)
+	if n := len(preds(g)[g.Exit]); n != 2 {
+		t.Errorf("want 2 return paths into exit, got %d", n)
+	}
+}
+
+func TestForLoopEdges(t *testing.T) {
+	g := parse(t, `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	// Find the header: the block with two successors (body, exit-of-loop).
+	var header *Block
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 2 {
+			header = b
+			break
+		}
+	}
+	if header == nil {
+		t.Fatal("no two-way branch block (loop header) found")
+	}
+	// The header must be reachable from itself (back edge through body+post).
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		for _, s := range b.Succs {
+			if s == header {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !walk(header) {
+		t.Error("loop header has no back edge")
+	}
+}
+
+func TestInfiniteLoopOnlyExitsViaBreak(t *testing.T) {
+	g := parse(t, `func f(ch chan int) {
+	for {
+		v := <-ch
+		if v == 0 {
+			break
+		}
+	}
+}`)
+	if got := reachable(g); got[len(got)-1] < g.Exit.Index && !contains(got, g.Exit.Index) {
+		t.Errorf("exit not reachable via break: reachable=%v exit=%d", got, g.Exit.Index)
+	}
+	if !contains(reachable(g), g.Exit.Index) {
+		t.Error("break must make the exit reachable")
+	}
+}
+
+func TestPanicPathDoesNotReachExit(t *testing.T) {
+	g := parse(t, `func f(x bool) {
+	if x {
+		panic("boom")
+	}
+}`)
+	// The panic block must have no successors.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if len(b.Succs) != 0 {
+						t.Errorf("panic block has successors %v", b.Succs)
+					}
+					return
+				}
+			}
+		}
+	}
+	t.Fatal("panic node not found in any block")
+}
+
+func TestSwitchFallthroughChains(t *testing.T) {
+	g := parse(t, `func f(x int) string {
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		return "low"
+	default:
+		return "high"
+	}
+}`)
+	// All three clause bodies return; exit collects them. Clause 1 falls
+	// into clause 2, so only clause 2 and default reach the exit (the
+	// post-switch join is wired to the exit but unreachable — every
+	// clause returns — so it does not count).
+	live := reachable(g)
+	n := 0
+	for _, p := range preds(g)[g.Exit] {
+		if contains(live, p.Index) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("want 2 reachable exit preds (case2, default), got %d", n)
+	}
+}
+
+func TestSelectClausesBranchFromHeader(t *testing.T) {
+	g := parse(t, `func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}`)
+	var sel *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				sel = b
+			}
+		}
+	}
+	if sel == nil {
+		t.Fatal("select node not recorded")
+	}
+	if len(sel.Succs) != 2 {
+		t.Errorf("want 2 comm-clause successors, got %d", len(sel.Succs))
+	}
+}
+
+func TestGotoForwardEdge(t *testing.T) {
+	g := parse(t, `func f(x bool) int {
+	if x {
+		goto done
+	}
+	return 0
+done:
+	return 1
+}`)
+	if !contains(reachable(g), g.Exit.Index) {
+		t.Fatal("exit unreachable")
+	}
+	// Both returns reach the exit; the goto path must be wired.
+	if n := len(preds(g)[g.Exit]); n != 2 {
+		t.Errorf("want 2 exit preds, got %d", n)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := parse(t, `func f(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+	}
+	return 1
+}`)
+	if !contains(reachable(g), g.Exit.Index) {
+		t.Error("labeled break must keep the exit reachable")
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestForwardFixpoint runs a small may-analysis — "which assignment
+// statements may have executed" — over a loop, checking that the
+// worklist converges and that states merge across the back edge.
+func TestForwardFixpoint(t *testing.T) {
+	g := parse(t, `func f(n int) int {
+	a := 1
+	for i := 0; i < n; i++ {
+		a = 2
+	}
+	return a
+}`)
+	type state = string // sorted comma-joined set of seen assignment texts
+	join := func(a, b state) state {
+		set := map[string]bool{}
+		for _, s := range strings.Split(a+","+b, ",") {
+			if s != "" {
+				set[s] = true
+			}
+		}
+		var out []string
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		return strings.Join(out, ",")
+	}
+	transfer := func(b *Block, in state) state {
+		out := in
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				out = join(out, fmt.Sprintf("assign@%d", as.Pos()))
+			}
+		}
+		return out
+	}
+	in := Forward(g, Problem[state]{
+		Entry:    "",
+		Transfer: transfer,
+		Join:     join,
+		Equal:    func(a, b state) bool { return a == b },
+	})
+	exitIn := in[g.Exit]
+	// Both `a := 1` (and friends) and the loop-body `a = 2` may have run
+	// by the time the function returns.
+	if got := len(strings.Split(exitIn, ",")); got < 2 {
+		t.Errorf("exit in-state %q: want at least the two assignments merged across the loop", exitIn)
+	}
+}

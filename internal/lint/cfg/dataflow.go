@@ -1,0 +1,58 @@
+package cfg
+
+// Problem defines one forward dataflow problem over a Graph. States are
+// opaque to the driver; the lattice (and its finite height, which
+// guarantees termination) is the problem's responsibility. Transfer and
+// Join must treat states as immutable — return fresh values rather than
+// mutating arguments, since the driver aliases states across blocks.
+type Problem[S any] struct {
+	// Entry is the state on entry to the function.
+	Entry S
+	// Transfer computes a block's out-state from its in-state.
+	Transfer func(b *Block, in S) S
+	// Join merges the out-states of two predecessors.
+	Join func(a, b S) S
+	// Equal reports whether two states are equal (fixpoint test).
+	Equal func(a, b S) bool
+}
+
+// Forward runs the problem to a fixpoint with a worklist and returns the
+// in-state of every block. Blocks unreachable from the entry keep the
+// entry state. The fixpoint is guaranteed by the problem's lattice; as a
+// backstop against a non-converging Join the driver stops after
+// len(blocks)² + a constant rounds and returns the states it has — a
+// sound over-approximation is the caller's concern, not a hang.
+func Forward[S any](g *Graph, p Problem[S]) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	seen := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = p.Entry
+	}
+	entry := g.Entry()
+	seen[entry] = true
+
+	work := []*Block{entry}
+	budget := len(g.Blocks)*len(g.Blocks) + 64
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		out := p.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			var next S
+			if !seen[s] {
+				// First flow into s replaces the placeholder entry state.
+				next = out
+				seen[s] = true
+			} else {
+				next = p.Join(in[s], out)
+				if p.Equal(next, in[s]) {
+					continue
+				}
+			}
+			in[s] = next
+			work = append(work, s)
+		}
+	}
+	return in
+}

@@ -33,7 +33,7 @@ var Analyzer = &analysis.Analyzer{
 // loopScopeSuffixes are the package-path suffixes rule 2 applies to.
 var loopScopeSuffixes = []string{"internal/route", "internal/sparse"}
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	loopScope := false
 	for _, s := range loopScopeSuffixes {
 		if strings.HasSuffix(pass.Pkg.Path(), s) {
@@ -53,7 +53,7 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // hasCtxParam reports whether the function type declares a

@@ -31,7 +31,7 @@ var Analyzer = &analysis.Analyzer{
 // scopeSuffixes are the package-path suffixes the pass applies to.
 var scopeSuffixes = []string{"internal/geom", "internal/sparse", "internal/route"}
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	inScope := false
 	for _, s := range scopeSuffixes {
 		if strings.HasSuffix(pass.Pkg.Path(), s) {
@@ -40,7 +40,7 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	if !inScope {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -59,7 +59,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // isFloat reports whether the expression's type is a floating-point (or

@@ -1,0 +1,195 @@
+// Package goroleak demands a termination witness for every goroutine
+// launched from a function literal in the concurrent subsystems — the
+// sproutd engine (internal/server), the routing pipeline's solver pool
+// (internal/route), and the parallel explorer (the root sprout package).
+// A goroutine with no visible way to stop outlives its request: under
+// sproutd's graceful drain it keeps the process alive past the bounded
+// deadline, and in the explorer it pins a board snapshot long after the
+// reducer discarded it.
+//
+// A termination witness is any of:
+//
+//   - a channel receive — <-ctx.Done(), <-ch, a select with a receive
+//     case, or `for range ch` — the goroutine is parked on something the
+//     owner can close or cancel;
+//   - a sync.WaitGroup registration — the body calls Done (usually
+//     deferred), so a Wait-er observes its exit;
+//   - waiting out a pool — the body calls (*sync.WaitGroup).Wait, so it
+//     ends exactly when the pool it watches drains;
+//   - a bounded-pool token release — the body sends a struct{} token
+//     back into a semaphore channel.
+//
+// A bare result send (`go func() { out <- compute() }()`) is NOT a
+// witness: if the receiver gives up, that send blocks forever — that is
+// precisely the leak this analyzer exists to catch. The scan is
+// syntactic over the literal's body, skipping nested `go` statements
+// (their witnesses are their own).
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+
+	"sprout/internal/lint/analysis"
+	"sprout/internal/lint/cfg"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "goroleak",
+	Doc:      "goroutines in server/route/explorer packages need a termination witness (ctx.Done/channel receive, WaitGroup Done, or pool token)",
+	Requires: []*analysis.Analyzer{cfg.Analyzer},
+	Run:      run,
+}
+
+// scopeSuffixes are the package-path suffixes the pass applies to; the
+// root explorer package is matched by its base name "sprout".
+var scopeSuffixes = []string{"internal/server", "internal/route"}
+
+func inScope(pkgPath string) bool {
+	for _, s := range scopeSuffixes {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return path.Base(pkgPath) == "sprout"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	// The cfg result is consulted only to share the per-function walk
+	// order; the witness scan itself is syntactic.
+	graphs := pass.ResultOf[cfg.Analyzer].(*cfg.Result)
+	seen := map[*ast.GoStmt]bool{}
+	for _, g := range graphs.All {
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				cfg.Inspect(n, func(sub ast.Node) bool {
+					gs, ok := sub.(*ast.GoStmt)
+					if !ok || seen[gs] {
+						return true
+					}
+					seen[gs] = true
+					check(pass, gs)
+					return true
+				})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// check inspects one go statement. Only function literals are checked:
+// `go x.method()` terminates (or not) inside the method, which is
+// analyzed where it is defined.
+func check(pass *analysis.Pass, gs *ast.GoStmt) {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	if hasWitness(pass, lit.Body) {
+		return
+	}
+	pass.Reportf(gs.Go, "goroutine has no termination witness (ctx.Done/channel receive, WaitGroup Done/Wait, or pool-token release): potential leak")
+}
+
+// hasWitness scans the body for any of the witness shapes, skipping
+// nested go statements (a witness inside a nested goroutine says nothing
+// about this one) but descending into other nested literals (deferred
+// closures run on this goroutine).
+func hasWitness(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Still evaluate the call's arguments — they run here — but
+			// not the spawned literal's body.
+			for _, arg := range n.Call.Args {
+				if hasWitnessExpr(pass, arg) {
+					found = true
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true // receive: parked on a closable channel
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			// A token release: sending a bare struct{} back into a
+			// semaphore channel. Result sends carry data and do not count.
+			if isStructTokenSend(pass, n) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isWaitGroupCall(pass, n, "Done") || isWaitGroupCall(pass, n, "Wait") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasWitnessExpr applies the same scan to a bare expression.
+func hasWitnessExpr(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStructTokenSend reports whether the send pushes a struct{}-typed
+// token (the bounded-pool release idiom `sem <- struct{}{}`).
+func isStructTokenSend(pass *analysis.Pass, s *ast.SendStmt) bool {
+	t := pass.TypesInfo.Types[s.Value].Type
+	if t == nil {
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isWaitGroupCall reports whether call is (*sync.WaitGroup).<name>.
+func isWaitGroupCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	t := pass.TypesInfo.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

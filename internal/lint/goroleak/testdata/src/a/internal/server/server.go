@@ -1,0 +1,104 @@
+// Package server is the goroleak corpus: every goroutine launched from
+// a literal needs a termination witness.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+func compute() int { return 42 }
+
+func work() {}
+
+// --- positives ---
+
+// ResultSendLeak is the classic leak: if the receiver gives up, the
+// send blocks forever.
+func ResultSendLeak(out chan int) {
+	go func() { // want `goroutine has no termination witness`
+		out <- compute()
+	}()
+}
+
+// FireAndForget has no visible way to stop at all.
+func FireAndForget() {
+	go func() { // want `goroutine has no termination witness`
+		for {
+			work()
+		}
+	}()
+}
+
+// NestedLeak: the outer goroutine parks on a channel (fine), but the
+// inner one it spawns has no witness of its own.
+func NestedLeak(ch chan int, out chan int) {
+	go func() {
+		<-ch
+		go func() { // want `goroutine has no termination witness`
+			out <- compute()
+		}()
+	}()
+}
+
+// --- negatives ---
+
+// WaitGroupDone registers with a pool: a Wait-er observes its exit.
+func WaitGroupDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// CtxSelect parks on cancellation.
+func CtxSelect(ctx context.Context, out chan int) {
+	go func() {
+		select {
+		case out <- compute():
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// RangeOverChannel drains until the owner closes the channel.
+func RangeOverChannel(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+// TokenRelease returns its slot to a bounded pool.
+func TokenRelease(sem chan struct{}) {
+	<-sem
+	go func() {
+		defer func() { sem <- struct{}{} }()
+		work()
+	}()
+}
+
+// PoolWatcher ends exactly when the pool it watches drains.
+func PoolWatcher(wg *sync.WaitGroup, done chan struct{}) {
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}
+
+// NamedFunc is not checked: `go work()` terminates (or not) inside
+// work, which is analyzed where it is defined.
+func NamedFunc() {
+	go work()
+}
+
+// SpawnArgReceiveIsNotAWitness: the argument receive parks the
+// spawning function before the goroutine even starts; the spawned body
+// itself still has no witness.
+func SpawnArgReceiveIsNotAWitness(in chan int, out chan int) {
+	go func(v int) { // want `goroutine has no termination witness`
+		out <- v
+	}(<-in)
+}

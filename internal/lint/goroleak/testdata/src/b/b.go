@@ -1,0 +1,13 @@
+// Package b is outside goroleak's scope (not internal/server,
+// internal/route, or the root sprout package): the same leak shapes
+// produce no diagnostics here.
+package b
+
+func compute() int { return 7 }
+
+// OutOfScopeLeak would be flagged inside the concurrent subsystems.
+func OutOfScopeLeak(out chan int) {
+	go func() {
+		out <- compute()
+	}()
+}

@@ -8,8 +8,19 @@
 //
 // silences the named analyzers' diagnostics on the comment's line and on
 // the line directly below it (so the directive can trail the offending
-// expression or sit on its own line above it). The reason is mandatory —
-// a suppression without a recorded justification is itself reported.
+// expression or sit on its own line above it). A comment of the form
+//
+//	//lint:file-ignore analyzer1,analyzer2 reason text
+//
+// silences the named analyzers for the whole file containing it (for
+// files that are wall-to-wall exceptions, e.g. a lock intentionally held
+// across fsync to serialize a WAL). In both forms the reason is
+// mandatory — a suppression without a recorded justification is itself
+// reported.
+//
+// Analyzers may declare Requires dependencies (the cfg pass); the driver
+// runs each analyzer once per package in dependency order and delivers
+// requirement results through Pass.ResultOf.
 package lint
 
 import (
@@ -19,21 +30,27 @@ import (
 	"strings"
 
 	"sprout/internal/lint/analysis"
+	"sprout/internal/lint/atomicmix"
 	"sprout/internal/lint/ctxdelegate"
 	"sprout/internal/lint/errwrap"
 	"sprout/internal/lint/faultpoint"
 	"sprout/internal/lint/floateq"
+	"sprout/internal/lint/goroleak"
 	"sprout/internal/lint/loader"
+	"sprout/internal/lint/lockcheck"
 	"sprout/internal/lint/mustcheck"
 )
 
 // Analyzers returns the full sproutlint suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		ctxdelegate.Analyzer,
 		errwrap.Analyzer,
 		faultpoint.Analyzer,
 		floateq.Analyzer,
+		goroleak.Analyzer,
+		lockcheck.Analyzer,
 		mustcheck.Analyzer,
 	}
 }
@@ -55,10 +72,12 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore
+// comment. A file-ignore covers every line of its file.
 type ignoreDirective struct {
 	analyzers map[string]bool
 	line      int
+	wholeFile bool
 }
 
 // Run loads the packages matched by patterns (resolved relative to the
@@ -95,17 +114,32 @@ func Run(dir string, patterns []string) ([]Finding, error) {
 }
 
 // runPackage applies the whole suite to one package and filters
-// suppressed diagnostics.
+// suppressed diagnostics. Each analyzer — including Requires
+// dependencies shared by several suite members — runs exactly once per
+// package; requirement results flow to dependents via Pass.ResultOf.
 func runPackage(ld *loader.Loader, pkg *loader.Package) []Finding {
 	ignores, bad := collectIgnores(ld, pkg)
 	findings := bad
-	for _, a := range Analyzers() {
+	results := map[*analysis.Analyzer]any{}
+	ran := map[*analysis.Analyzer]bool{}
+	var exec func(a *analysis.Analyzer)
+	exec = func(a *analysis.Analyzer) {
+		if ran[a] {
+			return
+		}
+		ran[a] = true
+		resultOf := map[*analysis.Analyzer]any{}
+		for _, req := range a.Requires {
+			exec(req)
+			resultOf[req] = results[req]
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      ld.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			ResultOf:  resultOf,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
 			pos := ld.Fset.Position(d.Pos)
@@ -114,37 +148,49 @@ func runPackage(ld *loader.Loader, pkg *loader.Package) []Finding {
 			}
 			findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
 		}
-		if err := a.Run(pass); err != nil {
+		res, err := a.Run(pass)
+		if err != nil {
 			findings = append(findings, Finding{
 				Analyzer: a.Name,
 				Position: ld.Fset.Position(pkg.Files[0].Pos()),
 				Message:  fmt.Sprintf("analyzer failed: %v", err),
 			})
 		}
+		results[a] = res
+	}
+	for _, a := range Analyzers() {
+		exec(a)
 	}
 	return findings
 }
 
-// collectIgnores parses the //lint:ignore directives of every file in the
-// package. Malformed directives (no analyzer list or no reason) are
-// returned as findings.
+// collectIgnores parses the //lint:ignore and //lint:file-ignore
+// directives of every file in the package. Malformed directives (no
+// analyzer list or no reason) are returned as findings.
 func collectIgnores(ld *loader.Loader, pkg *loader.Package) (map[string][]ignoreDirective, []Finding) {
 	ignores := map[string][]ignoreDirective{}
 	var bad []Finding
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
-				if !ok {
+				wholeFile := false
+				text, ok := strings.CutPrefix(c.Text, "//lint:file-ignore")
+				if ok {
+					wholeFile = true
+				} else if text, ok = strings.CutPrefix(c.Text, "//lint:ignore"); !ok {
 					continue
 				}
 				pos := ld.Fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) < 2 {
+					directive := "//lint:ignore"
+					if wholeFile {
+						directive = "//lint:file-ignore"
+					}
 					bad = append(bad, Finding{
 						Analyzer: "sproutlint",
 						Position: pos,
-						Message:  "malformed //lint:ignore: want `//lint:ignore analyzer[,analyzer] reason`",
+						Message:  fmt.Sprintf("malformed %s: want `%s analyzer[,analyzer] reason`", directive, directive),
 					})
 					continue
 				}
@@ -152,7 +198,7 @@ func collectIgnores(ld *loader.Loader, pkg *loader.Package) (map[string][]ignore
 				for _, n := range strings.Split(fields[0], ",") {
 					names[n] = true
 				}
-				ignores[pos.Filename] = append(ignores[pos.Filename], ignoreDirective{analyzers: names, line: pos.Line})
+				ignores[pos.Filename] = append(ignores[pos.Filename], ignoreDirective{analyzers: names, line: pos.Line, wholeFile: wholeFile})
 			}
 		}
 	}
@@ -163,7 +209,10 @@ func collectIgnores(ld *loader.Loader, pkg *loader.Package) (map[string][]ignore
 // the line.
 func suppressed(dirs []ignoreDirective, analyzer string, line int) bool {
 	for _, d := range dirs {
-		if d.analyzers[analyzer] && (d.line == line || d.line == line-1) {
+		if !d.analyzers[analyzer] {
+			continue
+		}
+		if d.wholeFile || d.line == line || d.line == line-1 {
 			return true
 		}
 	}

@@ -3,6 +3,8 @@ package lint_test
 import (
 	"os"
 	"path/filepath"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 
@@ -82,5 +84,129 @@ func Malformed(a, b float64) bool {
 	}
 	if malformed != 1 {
 		t.Errorf("want 1 malformed-directive finding, got %d", malformed)
+	}
+}
+
+// TestFileIgnore checks the whole-file suppression form: a
+// //lint:file-ignore directive anywhere in a file silences the named
+// analyzers for every line of that file — and only that file, only
+// those analyzers — while a file-ignore without a reason is itself
+// reported and suppresses nothing.
+func TestFileIgnore(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixture\n\ngo 1.22\n")
+	write("internal/sparse/ignored.go", `//lint:file-ignore floateq fixture file is wall-to-wall exact comparisons
+package sparse
+
+// Top and Bottom sit far from the directive; both are covered.
+func Top(a, b float64) bool {
+	return a == b
+}
+
+func Bottom(a, b float64) bool {
+	return a != b
+}
+`)
+	write("internal/sparse/other.go", `package sparse
+
+// OtherFile is outside the ignored file: still reported.
+func OtherFile(a, b float64) bool {
+	return a == b
+}
+`)
+	write("internal/sparse/malformed.go", `//lint:file-ignore floateq
+package sparse
+
+// NotCovered: the directive above lacks a reason, so it is reported as
+// malformed and suppresses nothing.
+func NotCovered(a, b float64) bool {
+	return a == b
+}
+`)
+
+	findings, err := lint.Run(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	var floateqFiles []string
+	malformed := 0
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "floateq":
+			floateqFiles = append(floateqFiles, filepath.Base(f.Position.Filename))
+		case f.Analyzer == "sproutlint" && strings.Contains(f.Message, "malformed //lint:file-ignore"):
+			malformed++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	want := []string{"malformed.go", "other.go"}
+	sort.Strings(floateqFiles)
+	if !slices.Equal(floateqFiles, want) {
+		t.Errorf("floateq findings in %v, want %v (ignored.go fully suppressed)", floateqFiles, want)
+	}
+	if malformed != 1 {
+		t.Errorf("want 1 malformed file-ignore finding, got %d", malformed)
+	}
+}
+
+// TestFileIgnoreScopedToAnalyzer checks that a file-ignore for one
+// analyzer leaves the rest of the suite reporting in that file.
+func TestFileIgnoreScopedToAnalyzer(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "internal/sparse"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `//lint:file-ignore lockcheck fixture holds a lock across a send on purpose
+package sparse
+
+import "sync"
+
+type g struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// HeldAcrossSend is silenced for lockcheck by the file directive, but
+// the floateq violation below is untouched.
+func (x *g) HeldAcrossSend(v int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ch <- v
+}
+
+func Exact(a, b float64) bool {
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "internal/sparse/s.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	findings, err := lint.Run(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+	}
+	if byAnalyzer["lockcheck"] != 0 {
+		t.Errorf("lockcheck findings survived a file-ignore: %v", findings)
+	}
+	if byAnalyzer["floateq"] != 1 {
+		t.Errorf("want 1 floateq finding despite the lockcheck file-ignore, got %d", byAnalyzer["floateq"])
 	}
 }

@@ -1,0 +1,194 @@
+package loader
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// newFixtureLoader builds a throwaway module and returns a loader rooted
+// in it.
+func newFixtureLoader(t *testing.T, files map[string]string) (*Loader, string) {
+	t.Helper()
+	dir := t.TempDir()
+	writeTree(t, dir, files)
+	ld, err := New(dir)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return ld, dir
+}
+
+// TestStdlibFallback: an import the module mapping and extra roots
+// cannot resolve must be served by the source importer — the package
+// type-checks against real stdlib declarations, not stubs.
+func TestStdlibFallback(t *testing.T) {
+	ld, _ := newFixtureLoader(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"p.go": `package fixture
+
+import "strings"
+
+// Upper leans on a stdlib function so type-checking must resolve the
+// real strings package.
+func Upper(s string) string { return strings.ToUpper(s) }
+`,
+	})
+	pkg, err := ld.Load("fixture")
+	if err != nil {
+		t.Fatalf("Load(fixture): %v", err)
+	}
+	fn := pkg.Types.Scope().Lookup("Upper")
+	if fn == nil {
+		t.Fatal("Upper not in package scope")
+	}
+	// The fallback import is reachable directly too.
+	sp, err := ld.Import("strings")
+	if err != nil {
+		t.Fatalf("Import(strings): %v", err)
+	}
+	if sp.Name() != "strings" || sp.Scope().Lookup("ToUpper") == nil {
+		t.Fatalf("Import(strings) = %v, want the real strings package with ToUpper", sp)
+	}
+}
+
+// TestModuleMappingShadowsExtraRoot: when a testdata root contains a
+// directory spelled exactly like a module-local import path, the module
+// mapping must win — analyzer fixtures cannot silently replace the code
+// under analysis.
+func TestModuleMappingShadowsExtraRoot(t *testing.T) {
+	ld, dir := newFixtureLoader(t, map[string]string{
+		"go.mod":            "module fixture\n\ngo 1.22\n",
+		"internal/aux/a.go": "package aux\n\nconst Origin = \"module\"\n",
+		// The shadow: same import path, different content, under a
+		// GOPATH-style extra root.
+		"testdata/src/fixture/internal/aux/a.go": "package aux\n\nconst Origin = \"extraroot\"\n",
+	})
+	ld.ExtraRoots = []string{filepath.Join(dir, "testdata", "src")}
+
+	pkg, err := ld.Load("fixture/internal/aux")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	wantDir := filepath.Join(dir, "internal", "aux")
+	if pkg.Dir != wantDir {
+		t.Fatalf("Load resolved to %s, want the module directory %s", pkg.Dir, wantDir)
+	}
+	c, ok := pkg.Types.Scope().Lookup("Origin").(*types.Const)
+	if !ok || c.Val().ExactString() != `"module"` {
+		t.Fatalf("Origin = %v, want the module-side constant \"module\"", c)
+	}
+}
+
+// TestExtraRootResolvesNonModulePaths: paths outside the module resolve
+// through the extra roots — the mechanism analysistest uses to load
+// GOPATH-style corpora.
+func TestExtraRootResolvesNonModulePaths(t *testing.T) {
+	ld, dir := newFixtureLoader(t, map[string]string{
+		"go.mod":                  "module fixture\n\ngo 1.22\n",
+		"testdata/src/corp/c.go":  "package corp\n\nconst K = 1\n",
+		"testdata/src/empty/.g29": "not a go file: directory must not resolve",
+	})
+	ld.ExtraRoots = []string{filepath.Join(dir, "testdata", "src")}
+
+	pkg, err := ld.Load("corp")
+	if err != nil {
+		t.Fatalf("Load(corp): %v", err)
+	}
+	if pkg.Types.Scope().Lookup("K") == nil {
+		t.Fatal("K not in corp scope")
+	}
+	// A directory with no Go files is not a package, even when it exists
+	// under an extra root.
+	if _, err := ld.Load("empty"); err == nil {
+		t.Fatal("Load(empty) succeeded on a directory with no Go files")
+	}
+}
+
+// TestExtraRootShadowsStdlib: extra roots are consulted before the
+// source importer, so a corpus can pin its own version of a
+// stdlib-named package.
+func TestExtraRootShadowsStdlib(t *testing.T) {
+	ld, dir := newFixtureLoader(t, map[string]string{
+		"go.mod":                    "module fixture\n\ngo 1.22\n",
+		"testdata/src/strings/s.go": "package strings\n\nconst Stub = true\n",
+	})
+	ld.ExtraRoots = []string{filepath.Join(dir, "testdata", "src")}
+
+	sp, err := ld.Import("strings")
+	if err != nil {
+		t.Fatalf("Import(strings): %v", err)
+	}
+	if sp.Scope().Lookup("Stub") == nil {
+		t.Fatal("Import(strings) ignored the extra-root stub")
+	}
+}
+
+// TestUnresolvablePath: a path neither module-local, under an extra
+// root, nor importable as stdlib fails with a resolve error.
+func TestUnresolvablePath(t *testing.T) {
+	ld, _ := newFixtureLoader(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"p.go":   "package fixture\n",
+	})
+	_, err := ld.Load("no.such.example/pkg")
+	if err == nil || !strings.Contains(err.Error(), "cannot resolve") {
+		t.Fatalf("Load(no.such.example/pkg) = %v, want a cannot-resolve error", err)
+	}
+}
+
+// TestImportCycle: mutually importing module packages are reported as a
+// cycle instead of recursing forever.
+func TestImportCycle(t *testing.T) {
+	ld, _ := newFixtureLoader(t, map[string]string{
+		"go.mod":  "module fixture\n\ngo 1.22\n",
+		"a/a.go":  "package a\n\nimport \"fixture/b\"\n\nconst A = b.B\n",
+		"b/b.go":  "package b\n\nimport \"fixture/a\"\n\nconst B = a.A\n",
+		"go.sum_": "",
+	})
+	_, err := ld.Load("fixture/a")
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Load(fixture/a) = %v, want an import-cycle error", err)
+	}
+}
+
+// TestFindModuleWalksUp: New from a nested directory finds the
+// enclosing go.mod and maps paths against it.
+func TestFindModuleWalksUp(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod":            "module fixture\n\ngo 1.22\n",
+		"deep/nest/n.go":    "package nest\n\nconst N = 3\n",
+		"deep/nest/sub.txt": "",
+	})
+	ld, err := New(filepath.Join(dir, "deep", "nest"))
+	if err != nil {
+		t.Fatalf("New from nested dir: %v", err)
+	}
+	if ld.ModulePath != "fixture" {
+		t.Fatalf("ModulePath = %q, want fixture", ld.ModulePath)
+	}
+	pkg, err := ld.Load("fixture/deep/nest")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.Types.Scope().Lookup("N") == nil {
+		t.Fatal("N not in nest scope")
+	}
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"sprout/internal/lint/analysistest"
+	"sprout/internal/lint/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "a")
+}

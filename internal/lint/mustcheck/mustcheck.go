@@ -39,7 +39,7 @@ var mustUse = map[string]map[string]bool{
 	},
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch stmt := n.(type) {
@@ -58,7 +58,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // allBlank reports whether every left-hand side is the blank identifier.

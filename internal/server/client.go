@@ -112,15 +112,23 @@ func (c *Client) Submit(ctx context.Context, doc []byte, idemKey string) (Status
 	return Status{}, fmt.Errorf("client: submit gave up after %d attempts: %w", c.maxAttempts(), last)
 }
 
-// retryableError marks a rejection the client should back off and retry.
+// retryableError marks a failure the client should back off and retry:
+// a typed rejection (429/503) or a transport-level error that left no
+// response at all.
 type retryableError struct {
 	code int
 	body string
+	err  error // transport failure when no response was received
 }
 
 func (e *retryableError) Error() string {
+	if e.err != nil {
+		return e.err.Error()
+	}
 	return fmt.Sprintf("server rejected submission (HTTP %d): %s", e.code, e.body)
 }
+
+func (e *retryableError) Unwrap() error { return e.err }
 
 // RejectedError is a non-retryable submission rejection (e.g. 400 for a
 // malformed document). The shard router never fails these over: the same
@@ -134,18 +142,37 @@ func (e *RejectedError) Error() string {
 	return fmt.Sprintf("client: submit rejected (HTTP %d): %s", e.Code, e.Body)
 }
 
-func (c *Client) trySubmit(ctx context.Context, doc []byte, idemKey string) (Status, time.Duration, error) {
+// newRequest materializes one submission attempt from the captured
+// document bytes: every retry gets a fresh body reader positioned at
+// offset zero, so a resend after a transport error carries the full
+// document — a half-sent POST must never be resumed from wherever the
+// broken connection left off.
+func (c *Client) newRequest(ctx context.Context, doc []byte, idemKey string) (*http.Request, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(doc))
 	if err != nil {
-		return Status{}, 0, fmt.Errorf("client: build request: %w", err)
+		return nil, fmt.Errorf("client: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
 	}
+	return req, nil
+}
+
+func (c *Client) trySubmit(ctx context.Context, doc []byte, idemKey string) (Status, time.Duration, error) {
+	req, err := c.newRequest(ctx, doc, idemKey)
+	if err != nil {
+		return Status{}, 0, err
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return Status{}, 0, fmt.Errorf("client: submit: %w", err)
+		if ctx.Err() != nil {
+			return Status{}, 0, fmt.Errorf("client: submit: %w", ctx.Err())
+		}
+		// A transport-level failure (connection refused, reset mid-body)
+		// left no response; the idempotency key makes the resend safe, so
+		// it is retried like an overload rejection.
+		return Status{}, 0, &retryableError{err: fmt.Errorf("client: submit: %w", err)}
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 )
@@ -98,6 +102,59 @@ func TestSubmitMaxElapsed(t *testing.T) {
 	}
 	if elapsed > 2*time.Second {
 		t.Fatalf("submit ran %v, want bounded near the 150ms MaxElapsed", elapsed)
+	}
+}
+
+// TestSubmitResendsFullBodyAfterTransportError: a transport-level
+// failure (connection dropped mid-request) is retried, and the retry
+// must carry the complete document from offset zero. This is the
+// regression guard for shard failover POSTs: the body is captured as a
+// byte slice and re-wrapped per attempt by newRequest, never resumed
+// from wherever the broken connection left off.
+func TestSubmitResendsFullBodyAfterTransportError(t *testing.T) {
+	doc := bytes.Repeat([]byte(`{"pad":"xxxxxxxx"}`), 4096) // ~72KB: large enough that a partial send is plausible
+	var mu sync.Mutex
+	var bodies [][]byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n := len(bodies)
+		bodies = append(bodies, nil)
+		mu.Unlock()
+		if n == 0 {
+			// Read a prefix, then abort the connection: the client sees a
+			// transport error, not an HTTP status.
+			io.CopyN(io.Discard, r.Body, 10)
+			panic(http.ErrAbortHandler)
+		}
+		got, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("retry attempt: read body: %v", err)
+		}
+		mu.Lock()
+		bodies[n] = got
+		mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"j-resend"}`)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 1)
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 2 * time.Millisecond
+	st, err := c.Submit(context.Background(), doc, "resend")
+	if err != nil {
+		t.Fatalf("submit after transport error = %v, want success on retry", err)
+	}
+	if st.ID != "j-resend" {
+		t.Fatalf("st.ID = %q, want j-resend", st.ID)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (one aborted, one retried)", len(bodies))
+	}
+	if !bytes.Equal(bodies[1], doc) {
+		t.Fatalf("retry body: got %d bytes, want the full %d-byte document resent from offset zero", len(bodies[1]), len(doc))
 	}
 }
 

@@ -504,9 +504,9 @@ func (p *PersistentStore) Finish(j *Job, report *obs.RunReport, err error, now t
 	return true
 }
 
-func (p *PersistentStore) Get(id string) *Job            { return p.mem.Get(id) }
-func (p *PersistentStore) NonTerminal() []*Job           { return p.mem.NonTerminal() }
-func (p *PersistentStore) Status(j *Job) Status          { return p.mem.Status(j) }
+func (p *PersistentStore) Get(id string) *Job                          { return p.mem.Get(id) }
+func (p *PersistentStore) NonTerminal() []*Job                         { return p.mem.NonTerminal() }
+func (p *PersistentStore) Status(j *Job) Status                        { return p.mem.Status(j) }
 func (p *PersistentStore) Result(j *Job) (*obs.RunReport, *obs.Tracer) { return p.mem.Result(j) }
 
 // Recovered returns the jobs found accepted but unfinished at open, in

@@ -146,7 +146,7 @@ func (w *walFile) append(rec *walRecord, sync bool) error {
 	if ferr := faultinject.Check(faultinject.SiteWALCorrupt); ferr != nil {
 		// Injected torn write: half the record reaches the disk, the
 		// caller is told all of it did. Recovery must truncate this.
-		_, _ = w.f.Write(buf[:walHeaderSize+ (len(buf)-walHeaderSize)/2])
+		_, _ = w.f.Write(buf[:walHeaderSize+(len(buf)-walHeaderSize)/2])
 		w.killed = true // nothing coherent can follow a torn tail
 		return nil
 	}
