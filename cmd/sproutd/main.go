@@ -4,11 +4,14 @@
 // and serves per-job run reports and Chrome traces.
 //
 //	POST /v1/jobs              submit a board (Idempotency-Key dedupes retries,
-//	                           ?timeout=90s bounds the job, ?manual=1, ?skip_extract=1)
+//	                           ?timeout=90s bounds the job, ?manual=1, ?skip_extract=1,
+//	                           X-Sprout-Trace continues a distributed trace)
 //	GET  /v1/jobs/{id}         poll status
 //	GET  /v1/jobs/{id}/result  run report (429/503/504/500 map the typed errors)
-//	GET  /v1/jobs/{id}/trace   Chrome trace of the run (open in Perfetto)
-//	GET  /healthz /readyz /metrics
+//	GET  /v1/jobs/{id}/trace   stitched Chrome trace of the run (open in Perfetto)
+//	GET  /v1/fleet/metrics     per-replica metric snapshots (scatter-gathered)
+//	GET  /healthz /readyz      probes
+//	GET  /metrics              Prometheus text exposition (?format=json for JSON)
 //
 // On SIGTERM/SIGINT the server stops admitting (readyz goes 503), drains
 // in-flight jobs for -drain, cancels stragglers with a typed shutdown
@@ -62,6 +65,8 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "WAL appends between snapshot+compaction passes (0 = default)")
 	self := flag.String("self", "", "this replica's base URL on the shard ring (enables proxy mode with -peers)")
 	peers := flag.String("peers", "", "comma-separated peer base URLs on the shard ring")
+	shard := flag.String("shard", "", "shard label on exported Prometheus series (default: replica name)")
+	fleetTimeout := flag.Duration("fleet-timeout", 2*time.Second, "per-peer timeout for /v1/fleet/metrics scrapes and trace-part gathers")
 	verbose := flag.Bool("v", false, "verbose: log per-job detail")
 	quiet := flag.Bool("q", false, "quiet: log errors only")
 	flag.Parse()
@@ -74,7 +79,7 @@ func main() {
 		verbosity = obs.Verbose
 	}
 	log := obs.NewLogger(os.Stderr, verbosity)
-	tracer := obs.New()
+	tracer := obs.New(obs.WithReplica(*name))
 
 	var store server.JobStore
 	if *dataDir != "" {
@@ -102,6 +107,8 @@ func main() {
 		Workers:       *workers,
 		Store:         store,
 		NodeName:      *name,
+		Shard:         *shard,
+		FleetTimeout:  *fleetTimeout,
 		QueueDepth:    *queue,
 		JobTimeout:    *jobTimeout,
 		MaxJobTimeout: *maxJobTimeout,

@@ -172,9 +172,17 @@ func (x *explorer) exec(ctx context.Context, node *prefixNode, parent *routeStat
 		net := x.nets[node.net]
 		nctx, sp := obs.StartSpan(ctx, "ExploreNode",
 			obs.A("net", net.Name), obs.A("depth", node.depth), obs.A("orders", node.leaves))
+		tr := obs.FromContext(ctx)
+		var nodeStart time.Time
+		if tr.Enabled() {
+			nodeStart = time.Now()
+		}
 		next, err := x.routeNode(nctx, parent, net)
 		sp.Fail(err)
 		sp.End()
+		if tr.Enabled() {
+			tr.Histogram(obs.MExploreNodeMS).Observe(float64(time.Since(nodeStart)) / 1e6)
+		}
 		// One real route served node.leaves sequential-equivalent routes.
 		x.misses.Add(1)
 		x.hits.Add(int64(node.leaves - 1))
@@ -268,8 +276,8 @@ func exploreParallel(ctx context.Context, b *board.Board, opt RouteOptions, orde
 
 	start := time.Now()
 	tr := obs.FromContext(ctx)
-	tr.Counter("explore.orders").Add(int64(len(orders)))
-	tr.Gauge("explore.workers").Set(int64(workers))
+	tr.Counter(obs.MExploreOrders).Add(int64(len(orders)))
+	tr.Gauge(obs.MExploreWorkers).Set(int64(workers))
 
 	root := buildPrefixTree(orders, !opt.ExploreNoPrefixCache)
 	x := &explorer{
@@ -328,7 +336,7 @@ func exploreParallel(ctx context.Context, b *board.Board, opt RouteOptions, orde
 	x.wg.Wait()
 	out.Stats.PrefixHits = x.hits.Load()
 	out.Stats.PrefixMisses = x.misses.Load()
-	tr.Counter("explore.prefix.hits").Add(out.Stats.PrefixHits)
-	tr.Counter("explore.prefix.misses").Add(out.Stats.PrefixMisses)
+	tr.Counter(obs.MExplorePrefixHits).Add(out.Stats.PrefixHits)
+	tr.Counter(obs.MExplorePrefixMisses).Add(out.Stats.PrefixMisses)
 	return out, retErr
 }

@@ -21,7 +21,9 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int64          `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant-event scope
+	ID   string         `json:"id,omitempty"` // flow-event binding id
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	S    string         `json:"s,omitempty"`  // instant-event scope
 	Args map[string]any `json:"args,omitempty"`
 }
 

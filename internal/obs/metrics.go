@@ -20,20 +20,22 @@ type Gauge struct {
 	v atomic.Int64
 }
 
-// histBounds are the fixed histogram bucket upper bounds (powers of four
-// cover both CG iteration counts and Laplacian nnz ranges); the final
-// implicit bucket is +Inf.
-var histBounds = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+// histBounds are the default histogram bucket upper bounds (powers of
+// four cover both CG iteration counts and Laplacian nnz ranges); the
+// final implicit bucket is +Inf. The metric registry (names.go) assigns
+// latency-shaped bounds to *_ms histograms instead.
+var histBounds = countBuckets
 
 // Histogram tracks the distribution of a float64 metric with fixed
-// power-of-four buckets plus count/sum/min/max, safe for concurrent use.
-// The nil histogram is a safe no-op.
+// per-metric buckets (assigned by the registry) plus count/sum/min/max,
+// safe for concurrent use. The nil histogram is a safe no-op.
 type Histogram struct {
 	mu       sync.Mutex
+	bounds   []float64
 	count    int64
 	sum      float64
 	min, max float64
-	buckets  []int64 // len(histBounds)+1, last = overflow
+	buckets  []int64 // len(bounds)+1, last = overflow
 }
 
 // HistogramSummary is the JSON-friendly snapshot of a Histogram.
@@ -43,6 +45,11 @@ type HistogramSummary struct {
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
+	// P50/P95/P99 are quantile estimates interpolated from the fixed
+	// buckets (exact at the bucket boundaries, clamped to [Min, Max]).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 	// Bounds lists the bucket upper limits; Buckets[i] counts samples at
 	// or below Bounds[i] (and above the previous bound), the final extra
 	// entry counts the overflow above the last bound.
@@ -50,12 +57,56 @@ type HistogramSummary struct {
 	Buckets []int64   `json:"buckets,omitempty"`
 }
 
+// Quantile interpolates the q-quantile (0 < q < 1) from the bucket
+// counts, Prometheus histogram_quantile style: locate the bucket holding
+// the target rank, then interpolate linearly inside it. Results are
+// clamped to the observed [Min, Max], which also makes the overflow
+// bucket exact-bounded. Returns 0 on an empty summary.
+func (s HistogramSummary) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	target := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			lo := s.Min
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Max
+			if i < len(s.Bounds) && s.Bounds[i] < hi {
+				hi = s.Bounds[i]
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := (target - float64(cum)) / float64(c)
+			v := lo + (hi-lo)*frac
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum += c
+	}
+	return s.Max
+}
+
 // Counter returns the named counter, creating it on first use. A nil or
-// disabled tracer returns nil, whose Add is a no-op.
+// disabled tracer returns nil, whose Add is a no-op. The name must be
+// registered in names.go (panics otherwise, like faultinject.Arm).
 func (t *Tracer) Counter(name string) *Counter {
 	if !t.Enabled() {
 		return nil
 	}
+	mustMetric(name, KindCounter)
 	t.metricsMu.Lock()
 	defer t.metricsMu.Unlock()
 	if t.counters == nil {
@@ -70,11 +121,13 @@ func (t *Tracer) Counter(name string) *Counter {
 }
 
 // Gauge returns the named gauge, creating it on first use. A nil or
-// disabled tracer returns nil, whose Set/Add are no-ops.
+// disabled tracer returns nil, whose Set/Add are no-ops. The name must
+// be registered in names.go.
 func (t *Tracer) Gauge(name string) *Gauge {
 	if !t.Enabled() {
 		return nil
 	}
+	mustMetric(name, KindGauge)
 	t.metricsMu.Lock()
 	defer t.metricsMu.Unlock()
 	if t.gauges == nil {
@@ -88,12 +141,15 @@ func (t *Tracer) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram, creating it on first use. A nil
-// or disabled tracer returns nil, whose Observe is a no-op.
+// Histogram returns the named histogram, creating it on first use with
+// the bucket bounds its registration declares. A nil or disabled tracer
+// returns nil, whose Observe is a no-op. The name must be registered in
+// names.go.
 func (t *Tracer) Histogram(name string) *Histogram {
 	if !t.Enabled() {
 		return nil
 	}
+	def := mustMetric(name, KindHistogram)
 	t.metricsMu.Lock()
 	defer t.metricsMu.Unlock()
 	if t.hists == nil {
@@ -101,7 +157,11 @@ func (t *Tracer) Histogram(name string) *Histogram {
 	}
 	h, ok := t.hists[name]
 	if !ok {
-		h = &Histogram{buckets: make([]int64, len(histBounds)+1)}
+		bounds := def.Buckets
+		if bounds == nil {
+			bounds = histBounds
+		}
+		h = &Histogram{bounds: bounds, buckets: make([]int64, len(bounds)+1)}
 		t.hists[name] = h
 	}
 	return h
@@ -162,7 +222,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
-	i := sort.SearchFloat64s(histBounds, v)
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i]++
 }
 
@@ -176,14 +236,66 @@ func (h *Histogram) Summary() HistogramSummary {
 	if h.count == 0 {
 		return HistogramSummary{}
 	}
-	return HistogramSummary{
+	s := HistogramSummary{
 		Count:   h.count,
 		Sum:     h.sum,
 		Min:     h.min,
 		Max:     h.max,
 		Mean:    h.sum / float64(h.count),
-		Bounds:  append([]float64(nil), histBounds...),
+		Bounds:  append([]float64(nil), h.bounds...),
 		Buckets: append([]int64(nil), h.buckets...),
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// absorb folds a snapshotted histogram into this one. Bucket layouts
+// come from the registry, so they match whenever both sides observe the
+// same metric name; a layout mismatch (a foreign snapshot from a build
+// with different bounds) degrades to counting everything as overflow
+// rather than mis-binning it.
+func (h *Histogram) absorb(s HistogramSummary) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if h.count == 0 || s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	if len(s.Buckets) == len(h.buckets) {
+		for i, c := range s.Buckets {
+			h.buckets[i] += c
+		}
+	} else {
+		h.buckets[len(h.buckets)-1] += s.Count
+	}
+}
+
+// AbsorbMetrics folds another tracer's counters and histograms into this
+// one — how per-job tracer metrics (stage latency, solver telemetry)
+// reach the replica-wide tracer that /metrics exposes. Gauges are
+// deliberately skipped: a job-scoped point-in-time value must not
+// overwrite the replica's live gauges. Nil-safe on both sides.
+func (t *Tracer) AbsorbMetrics(from *Tracer) {
+	if !t.Enabled() || !from.Enabled() {
+		return
+	}
+	counters, hists := from.MetricsSnapshot()
+	for name, v := range counters {
+		if v != 0 {
+			t.Counter(name).Add(v)
+		}
+	}
+	for name, s := range hists {
+		t.Histogram(name).absorb(s)
 	}
 }
 

@@ -72,6 +72,19 @@ type Tracer struct {
 	enabled atomic.Bool
 	logger  *slog.Logger
 
+	// traceID names the distributed trace this tracer's spans belong to
+	// (32 hex chars, random unless WithTraceID continued a propagated
+	// one). replica annotates every exported span with the node that
+	// recorded it; remoteParent is the cross-replica span ref the root
+	// spans attach to at stitch time (0 = this tracer starts the trace).
+	traceID      string
+	replica      string
+	remoteParent uint64
+	// epoch is the wall-clock origin of the tracer offsets, used to place
+	// this tracer's spans on the fleet-wide timeline when parts from
+	// several replicas are stitched.
+	epoch time.Time
+
 	// now returns the current offset from the tracer epoch. Replaceable
 	// for deterministic tests (WithClock).
 	now func() time.Duration
@@ -104,15 +117,64 @@ func WithLogger(l *slog.Logger) Option {
 	return func(t *Tracer) { t.logger = l }
 }
 
+// WithTraceID continues a propagated trace instead of starting a new one.
+// Invalid ids (wrong length) are ignored, keeping the generated one.
+func WithTraceID(id string) Option {
+	return func(t *Tracer) {
+		if len(id) == 32 {
+			t.traceID = id
+		}
+	}
+}
+
+// WithReplica names the replica recording this tracer's spans; the name
+// qualifies span refs and labels the replica's process row in a stitched
+// trace.
+func WithReplica(name string) Option {
+	return func(t *Tracer) { t.replica = name }
+}
+
+// WithRemoteParent attaches this tracer's root spans to a remote span
+// (by ref) when the trace is stitched.
+func WithRemoteParent(ref uint64) Option {
+	return func(t *Tracer) { t.remoteParent = ref }
+}
+
+// WithEpoch pins the tracer's wall-clock origin — paired with WithClock
+// for deterministic stitch tests.
+func WithEpoch(epoch time.Time) Option {
+	return func(t *Tracer) { t.epoch = epoch }
+}
+
 // New returns an enabled tracer whose epoch is the call time.
 func New(opts ...Option) *Tracer {
 	epoch := time.Now()
-	t := &Tracer{now: func() time.Duration { return time.Since(epoch) }}
+	t := &Tracer{
+		epoch:   epoch,
+		traceID: NewTraceID(),
+		now:     func() time.Duration { return time.Since(epoch) },
+	}
 	for _, o := range opts {
 		o(t)
 	}
 	t.enabled.Store(true)
 	return t
+}
+
+// TraceID returns the tracer's distributed-trace id ("" on nil).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Replica returns the replica name the tracer records under ("" on nil).
+func (t *Tracer) Replica() string {
+	if t == nil {
+		return ""
+	}
+	return t.replica
 }
 
 // Enabled reports whether the tracer records anything. Nil-safe: a nil

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// promTracer builds a fully deterministic tracer covering all three
+// metric kinds, a labeled histogram and a wildcard-family counter — the
+// exposition surface the golden file pins down.
+func promTracer() *Tracer {
+	tr := New(WithClock(fakeClock()), WithReplica("a"))
+	tr.Counter(MJobsAccepted).Add(3)
+	tr.Counter(MSolverPrecondPrefix + "jacobi").Add(2)
+	tr.Gauge(MServerWorkers).Set(4)
+	tr.Gauge(MServerAccepting).Set(1)
+	h := tr.Histogram(MJobRunMS)
+	for _, v := range []float64{0.2, 3, 3, 700} {
+		h.Observe(v)
+	}
+	tr.Histogram(WithLabels(MHTTPRequestMS, "route", "submit", "status", "202")).Observe(1.5)
+	return tr
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := promTracer().WritePrometheus(&buf, PromOptions{
+		Labels: []string{"replica", "a", "shard", "s1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s (run with -update to regenerate after a deliberate change)\n--- got ---\n%s",
+			golden, buf.String())
+	}
+}
+
+// TestWritePrometheusWellFormed checks the structural invariants of the
+// exposition independent of the golden bytes: one TYPE line per family,
+// counters suffixed _total, cumulative le buckets capped by +Inf, and
+// quantile companions for every histogram.
+func TestWritePrometheusWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTracer().WritePrometheus(&buf, PromOptions{Labels: []string{"replica", "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]string{}
+	samples := map[string]int{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[f[2]]; dup {
+				t.Fatalf("family %s declared twice", f[2])
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, "{")
+		if !ok {
+			name, rest, ok = strings.Cut(line, " ")
+		}
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		_ = rest
+		samples[name]++
+		if !strings.Contains(line, `replica="a"`) {
+			t.Fatalf("sample %q lost the global replica label", line)
+		}
+	}
+	if types["sprout_server_jobs_accepted_total"] != "counter" {
+		t.Fatalf("counter family missing/_total-less: %v", types)
+	}
+	if types["sprout_server_workers"] != "gauge" {
+		t.Fatalf("gauge family missing: %v", types)
+	}
+	if types["sprout_server_job_run_ms"] != "histogram" {
+		t.Fatalf("histogram family missing: %v", types)
+	}
+	for _, q := range []string{"_p50", "_p95", "_p99"} {
+		if types["sprout_server_job_run_ms"+q] != "gauge" {
+			t.Fatalf("histogram lacks %s companion gauge: %v", q, types)
+		}
+	}
+	// Buckets: one per bound plus +Inf, all under the single family name.
+	if n := samples["sprout_server_job_run_ms_bucket"]; n != len(latencyBucketsMS)+1 {
+		t.Fatalf("job_run_ms has %d bucket samples, want %d", n, len(latencyBucketsMS)+1)
+	}
+	// The labeled histogram keeps its labels as real Prometheus labels.
+	if !strings.Contains(buf.String(), `sprout_http_request_ms_bucket{replica="a",route="submit",status="202",le=`) {
+		t.Fatal("WithLabels suffix was not split back into Prometheus labels")
+	}
+}
+
+func TestWritePrometheusDisabledTracerIsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var nilTracer *Tracer
+	if err := nilTracer.WritePrometheus(&buf, PromOptions{}); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil tracer exposition = (%q, %v), want empty", buf.String(), err)
+	}
+	tr := New()
+	tr.SetEnabled(false)
+	if err := tr.WritePrometheus(&buf, PromOptions{}); err != nil || buf.Len() != 0 {
+		t.Fatalf("disabled tracer exposition = (%q, %v), want empty", buf.String(), err)
+	}
+	// Odd global label counts are a caller bug, reported not ignored.
+	if err := New().WritePrometheus(&buf, PromOptions{Labels: []string{"replica"}}); err == nil {
+		t.Fatal("odd label count must error")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	tr := New()
+	h := tr.Histogram(MJobRunMS)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i)) // uniform 1..100 ms
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Uniform data: the interpolated quantiles land near the true ones
+	// (bucket bounds at ...,50,100 bracket them loosely).
+	if s.P50 < 25 || s.P50 > 60 {
+		t.Fatalf("p50 = %v, want ~50 within bucket resolution", s.P50)
+	}
+	if s.P95 < 80 || s.P95 > 100 {
+		t.Fatalf("p95 = %v, want ~95 within bucket resolution", s.P95)
+	}
+	if s.P99 < s.P95 || s.P99 > 100 {
+		t.Fatalf("p99 = %v, want >= p95 and <= max", s.P99)
+	}
+	// Quantiles clamp to the observed range even in the overflow bucket.
+	h2 := New().Histogram(MSolverCGIterations)
+	h2.Observe(1e6)
+	if got := h2.Summary().P99; got != 1e6 {
+		t.Fatalf("single overflow sample p99 = %v, want the sample itself", got)
+	}
+	if got := (HistogramSummary{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty summary quantile = %v, want 0", got)
+	}
+}
+
+func TestAbsorbMetrics(t *testing.T) {
+	job := New(WithReplica("job"))
+	job.Counter(MSolverSolves).Add(7)
+	job.Histogram(MStagePrefix + "grow").Observe(2)
+	job.Histogram(MStagePrefix + "grow").Observe(8)
+	job.Gauge(MExploreWorkers).Set(9)
+
+	srv := New(WithReplica("srv"))
+	srv.Counter(MSolverSolves).Add(1)
+	srv.Histogram(MStagePrefix + "grow").Observe(100)
+	srv.AbsorbMetrics(job)
+	// A second identical-content job folds in cumulatively.
+	srv.AbsorbMetrics(job)
+
+	counters, hists := srv.MetricsSnapshot()
+	if counters[MSolverSolves] != 15 {
+		t.Fatalf("absorbed counter = %d, want 1+7+7", counters[MSolverSolves])
+	}
+	s := hists[MStagePrefix+"grow"]
+	if s.Count != 5 || s.Min != 2 || s.Max != 100 || s.Sum != 120 {
+		t.Fatalf("absorbed histogram = %+v, want count 5 sum 120 min 2 max 100", s)
+	}
+	// Gauges stay job-local: a point-in-time worker count must not leak
+	// into the replica's gauges.
+	if g := srv.GaugesSnapshot(); g[MExploreWorkers] != 0 {
+		t.Fatalf("gauge leaked through absorb: %v", g)
+	}
+	// Nil/disabled sides are no-ops.
+	var nilTracer *Tracer
+	nilTracer.AbsorbMetrics(job)
+	srv.AbsorbMetrics(nilTracer)
+}

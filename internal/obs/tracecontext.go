@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Cross-replica trace propagation. A routing job that hops between
+// sproutd replicas (shard forward, failover, scatter read) carries a
+// W3C-traceparent-style header,
+//
+//	X-Sprout-Trace: 00-<32 hex trace id>-<16 hex parent span ref>-01
+//
+// so every replica's tracer records its spans under the same trace id,
+// with its root spans attached to the remote parent span. Span ids are
+// only unique within one tracer, so a cross-replica reference uses a
+// span *ref*: a 64-bit hash of (replica name, local span id). The
+// stitcher (stitch.go) recomputes every exported span's ref and resolves
+// the remote parent links when it merges the per-replica parts.
+
+// TraceHeaderName is the propagation header.
+const TraceHeaderName = "X-Sprout-Trace"
+
+// TraceContext identifies a position in a distributed trace: the trace
+// itself plus the span ref a downstream hop should parent under (0 when
+// the hop should attach at the trace root).
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters (empty = no trace).
+	TraceID string
+	// Parent is the span ref of the remote parent (0 = root).
+	Parent uint64
+}
+
+// Valid reports whether the context names a trace.
+func (tc TraceContext) Valid() bool { return len(tc.TraceID) == 32 }
+
+// Header formats the context as an X-Sprout-Trace value ("" when
+// invalid).
+func (tc TraceContext) Header() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", tc.TraceID, tc.Parent)
+}
+
+// ParseTraceContext parses an X-Sprout-Trace value. Unknown versions and
+// malformed fields yield ok=false — a bad header must never fail a
+// submission, only detach its trace.
+func ParseTraceContext(v string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return TraceContext{}, false
+	}
+	if _, err := hex.DecodeString(parts[1]); err != nil {
+		return TraceContext{}, false
+	}
+	ref, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: parts[1], Parent: binary.BigEndian.Uint64(ref)}, true
+}
+
+// NewTraceID returns a fresh random 128-bit trace id as 32 hex chars.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant id keeps
+		// tracing functional (spans still merge, just under one trace).
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanRef computes the cross-replica reference of a span: a 64-bit
+// FNV-1a hash of the replica name and local span id, avalanche-finalized
+// (the same finalizer as the shard ring, for the same reason: structured
+// inputs must not cluster). Never returns 0, which is reserved for "no
+// parent".
+func SpanRef(replica string, spanID uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(replica); i++ {
+		h ^= uint64(replica[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (spanID >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// ContextTrace returns the trace context at the current point of ctx:
+// the tracer's trace id plus the ref of the innermost open span (or the
+// tracer's remote parent when no span is open). Zero when tracing is
+// disabled.
+func ContextTrace(ctx context.Context) TraceContext {
+	t := FromContext(ctx)
+	if !t.Enabled() {
+		return TraceContext{}
+	}
+	tc := TraceContext{TraceID: t.traceID, Parent: t.remoteParent}
+	if sp, ok := ctx.Value(spanKey).(*Span); ok && sp != nil {
+		tc.Parent = SpanRef(t.replica, sp.id)
+	}
+	return tc
+}
+
+// TraceHeader formats the current trace position of ctx as an
+// X-Sprout-Trace value ("" when tracing is disabled) — what a client or
+// proxy sets on an outbound hop.
+func TraceHeader(ctx context.Context) string {
+	return ContextTrace(ctx).Header()
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sprout/internal/graph"
 	"sprout/internal/obs"
@@ -84,6 +85,13 @@ type pairSolution struct {
 // pair over the member subgraph. Cancelling the context aborts the worker
 // pool between pair solves and inside the CG iterations.
 func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmCache) (*pairSolution, error) {
+	// stage.solve times the whole nodal analysis — the ~90% slice of §II-H.
+	// The clock is only read when tracing is on, keeping the disabled path
+	// byte-identical.
+	var solveStart time.Time
+	if obs.Enabled(ctx) {
+		solveStart = time.Now()
+	}
 	if len(members) != tg.G.N() {
 		return nil, fmt.Errorf("route: member mask len %d, want %d", len(members), tg.G.N())
 	}
@@ -158,23 +166,24 @@ func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmC
 		if !tr.Enabled() {
 			return
 		}
-		tr.Counter("solver.solves").Add(int64(st.Solves))
-		tr.Counter("solver.iterations").Add(int64(st.Iterations))
-		tr.Counter("solver.escalations").Add(int64(st.Escalations))
-		tr.Counter("solver.failures").Add(int64(st.Failures))
-		tr.Counter("solver.precond." + lap.Preconditioner()).Add(int64(st.Solves))
+		tr.Histogram(obs.MStageSolve).Observe(float64(time.Since(solveStart)) / 1e6)
+		tr.Counter(obs.MSolverSolves).Add(int64(st.Solves))
+		tr.Counter(obs.MSolverIterations).Add(int64(st.Iterations))
+		tr.Counter(obs.MSolverEscalations).Add(int64(st.Escalations))
+		tr.Counter(obs.MSolverFailures).Add(int64(st.Failures))
+		tr.Counter(obs.MSolverPrecondPrefix + lap.Preconditioner()).Add(int64(st.Solves))
 		for rung, n := range st.Rungs {
-			tr.Counter("solver.rung." + rung).Add(int64(n))
+			tr.Counter(obs.MSolverRungPrefix + rung).Add(int64(n))
 		}
-		tr.Histogram("laplacian.nnz").Observe(float64(lap.NNZ()))
+		tr.Histogram(obs.MLaplacianNNZ).Observe(float64(lap.NNZ()))
 		for _, as := range atts {
 			for _, a := range as {
-				tr.Histogram("solver.cg_iterations").Observe(float64(a.Iterations))
+				tr.Histogram(obs.MSolverCGIterations).Observe(float64(a.Iterations))
 				if a.Residual > 0 {
 					// Residuals live at 1e-12..1e-6; bucket their
 					// negated decimal exponent so the fixed bounds
 					// resolve them.
-					tr.Histogram("solver.residual_neglog10").Observe(-math.Log10(a.Residual))
+					tr.Histogram(obs.MSolverResidualNegLog10).Observe(-math.Log10(a.Residual))
 				}
 			}
 		}

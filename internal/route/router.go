@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"sprout/internal/faultinject"
@@ -22,8 +23,19 @@ func stageCtx(ctx context.Context, stage string, attrs ...obs.Attr) (context.Con
 	lctx := pprof.WithLabels(ctx, pprof.Labels("stage", stage))
 	pprof.SetGoroutineLabels(lctx)
 	sctx, sp := obs.StartSpan(lctx, stage, attrs...)
+	// Each stage feeds its stage.<name> latency histogram so /metrics can
+	// report p50/p95/p99 per paper stage. Gated on the tracer so the
+	// disabled path stays free of clock reads.
+	tr := obs.FromContext(ctx)
+	var start time.Time
+	if tr.Enabled() {
+		start = time.Now()
+	}
 	return sctx, sp, func() {
 		sp.End()
+		if tr.Enabled() {
+			tr.Histogram(obs.MStagePrefix + strings.ToLower(stage)).Observe(float64(time.Since(start)) / 1e6)
+		}
 		pprof.SetGoroutineLabels(ctx)
 	}
 }

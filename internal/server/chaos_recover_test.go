@@ -141,7 +141,7 @@ func TestChaosKillAndRecover(t *testing.T) {
 	}
 
 	// The recovery counters are visible on the public /metrics surface.
-	resp, err := http.Get(ts2.URL + "/metrics")
+	resp, err := http.Get(ts2.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

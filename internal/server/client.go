@@ -39,6 +39,11 @@ type Client struct {
 	// 50ms / 2s).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Tracer receives the client.submit.* retry telemetry — attempts per
+	// submission, backoff slept, Retry-After hints honored, transport
+	// retries — and supplies the X-Sprout-Trace header when the caller's
+	// context does not already carry a trace (optional; nil disables).
+	Tracer *obs.Tracer
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -91,8 +96,20 @@ func (c *Client) Submit(ctx context.Context, doc []byte, idemKey string) (Status
 		ctx, cancel = context.WithTimeout(ctx, c.MaxElapsed)
 		defer cancel()
 	}
+	if c.Tracer.Enabled() && obs.FromContext(ctx) == nil {
+		// No trace in flight: the client's own tracer originates one, so
+		// even a bare Submit propagates an X-Sprout-Trace to the server.
+		ctx = obs.WithTracer(ctx, c.Tracer)
+	}
 	var last error
+	attempts := 0
+	defer func() {
+		if c.Tracer.Enabled() {
+			c.Tracer.Histogram(obs.MClientSubmitAttempts).Observe(float64(attempts))
+		}
+	}()
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		attempts = attempt + 1
 		st, retryAfter, err := c.trySubmit(ctx, doc, idemKey)
 		if err == nil {
 			return st, nil
@@ -100,6 +117,9 @@ func (c *Client) Submit(ctx context.Context, doc []byte, idemKey string) (Status
 		var re *retryableError
 		if !errors.As(err, &re) {
 			return Status{}, err
+		}
+		if re.err != nil && c.Tracer.Enabled() {
+			c.Tracer.Counter(obs.MClientTransportRetries).Add(1)
 		}
 		last = err
 		if attempt+1 >= c.maxAttempts() {
@@ -155,6 +175,11 @@ func (c *Client) newRequest(ctx context.Context, doc []byte, idemKey string) (*h
 	req.Header.Set("Content-Type", "application/json")
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	if hdr := obs.TraceHeader(ctx); hdr != "" {
+		// Propagate the caller's trace position (tracer plus innermost
+		// span) so the server's job span nests under this submission.
+		req.Header.Set(obs.TraceHeaderName, hdr)
 	}
 	return req, nil
 }
@@ -236,6 +261,11 @@ func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duratio
 	d := retryAfter
 	if d <= 0 {
 		d = c.backoffStep(attempt)
+	} else if c.Tracer.Enabled() {
+		c.Tracer.Counter(obs.MClientRetryAfterUsed).Add(1)
+	}
+	if c.Tracer.Enabled() {
+		c.Tracer.Histogram(obs.MClientSubmitBackoffMS).Observe(float64(d.Nanoseconds()) / 1e6)
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

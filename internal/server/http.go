@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -20,35 +21,102 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the sproutd HTTP API:
 //
-//	POST /v1/jobs              submit a board document (boardio schema)
-//	GET  /v1/jobs/{id}         poll job status
-//	GET  /v1/jobs/{id}/result  fetch the run report of a terminal job
-//	GET  /v1/jobs/{id}/trace   fetch the job's Chrome trace
-//	GET  /healthz              process liveness (always 200)
-//	GET  /readyz               admission readiness (503 while draining)
-//	GET  /metrics              server counters, histograms and gauges
+//	POST /v1/jobs                  submit a board document (boardio schema)
+//	GET  /v1/jobs/{id}             poll job status
+//	GET  /v1/jobs/{id}/result      fetch the run report of a terminal job
+//	GET  /v1/jobs/{id}/trace       fetch the job's stitched Chrome trace
+//	GET  /v1/jobs/{id}/traceparts  raw trace parts known to this replica
+//	GET  /v1/fleet/metrics         per-replica metric snapshots
+//	GET  /healthz                  process liveness (always 200)
+//	GET  /readyz                   admission readiness (503 while draining)
+//	GET  /metrics                  Prometheus text (?format=json for JSON)
 //
 // Failed jobs surface through /result with the status code of the
 // DESIGN "Failure semantics" matrix: 503 shutdown, 504 deadline,
 // 500 panic/solve/internal.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", e.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", e.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", e.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", e.handleTrace)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/jobs", e.instrument("submit", e.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", e.instrument("status", e.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", e.instrument("result", e.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", e.instrument("trace", e.handleTrace))
+	mux.HandleFunc("GET /v1/jobs/{id}/traceparts", e.instrument("traceparts", e.handleTraceParts))
+	mux.HandleFunc("GET /v1/fleet/metrics", e.instrument("fleet_metrics", e.handleFleetMetrics))
+	mux.HandleFunc("GET /healthz", e.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /readyz", e.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
 		if e.Accepting() {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 			return
 		}
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-	})
-	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	}))
+	mux.HandleFunc("GET /metrics", e.instrument("metrics", e.handleMetrics))
 	return mux
+}
+
+// probeRoutes are scraped or polled continuously; their access-log lines
+// go to Debug so a steady-state server stays quiet at the default level.
+var probeRoutes = map[string]bool{"healthz": true, "readyz": true, "metrics": true}
+
+// statusRecorder captures the status a wrapped handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-request observability surface:
+// an http.request_ms observation labeled by route and status, and one
+// structured access-log line (method, route, status, duration, job id,
+// trace id, forwarding replica).
+func (e *Engine) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		if e.cfg.Tracer.Enabled() {
+			e.cfg.Tracer.Histogram(obs.WithLabels(obs.MHTTPRequestMS,
+				"route", route, "status", strconv.Itoa(rec.status))).
+				Observe(float64(dur.Nanoseconds()) / 1e6)
+		}
+		attrs := []any{
+			"method", r.Method, "route", route, "status", rec.status,
+			"dur_ms", float64(dur.Microseconds()) / 1e3,
+		}
+		if id := r.PathValue("id"); id != "" {
+			attrs = append(attrs, "job", id)
+		}
+		if tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeaderName)); ok {
+			attrs = append(attrs, "trace", tc.TraceID)
+		}
+		if fwd := r.Header.Get(forwardedByHeader); fwd != "" {
+			attrs = append(attrs, "forwarded_by", fwd)
+		}
+		if probeRoutes[route] {
+			e.cfg.Log.Debug("http request", attrs...)
+		} else {
+			e.cfg.Log.Info("http request", attrs...)
+		}
+	}
 }
 
 // statusFor maps a failure kind to its client-visible HTTP status — one
@@ -73,6 +141,11 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt := SubmitOptions{IdempotencyKey: r.Header.Get("Idempotency-Key")}
+	if tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeaderName)); ok {
+		// Malformed headers detach the trace rather than failing the
+		// submission — tracing is best-effort.
+		opt.Trace = tc
+	}
 	if v := r.URL.Query().Get("timeout"); v != "" {
 		d, perr := time.ParseDuration(v)
 		if perr != nil || d <= 0 {
@@ -136,19 +209,46 @@ func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
-	st, _, tracer, ok := e.Result(r.PathValue("id"))
+	id := r.PathValue("id")
+	st, _, tracer, ok := e.Result(id)
 	switch {
 	case !ok:
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
-	case tracer == nil:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	case tracer == nil && len(e.TraceParts(id)) == 0:
 		// Never started: nothing was traced.
 		writeJSON(w, http.StatusAccepted, st)
 	default:
-		w.Header().Set("Content-Type", "application/json")
-		if err := tracer.WriteChromeTrace(w); err != nil {
-			e.cfg.Log.Warn("trace write failed", "job", st.ID, "err", err)
-		}
+		// Stitch everything known locally — the job's own spans plus any
+		// parts the proxy layer recorded — into one Chrome trace. (The
+		// shard handler extends this with parts gathered from peers.)
+		writeStitchedTrace(w, e.cfg.Log, id, e.TraceParts(id))
 	}
+}
+
+// writeStitchedTrace merges trace parts and writes the Chrome trace.
+func writeStitchedTrace(w http.ResponseWriter, log *slog.Logger, jobID string, parts []obs.TracePart) {
+	st, err := obs.Stitch(parts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("stitch trace: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := st.WriteChromeTrace(w); err != nil {
+		log.Warn("trace write failed", "job", jobID, "err", err)
+	}
+}
+
+// handleTraceParts serves the raw trace parts this replica holds for a
+// job — the stitcher's wire format, fetched peer-to-peer by whichever
+// replica is asked for the full trace.
+func (e *Engine) handleTraceParts(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	parts := e.TraceParts(id)
+	if len(parts) == 0 && e.store.Get(id) == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, parts)
 }
 
 // Metrics is the /metrics document: the engine gauges plus the server
@@ -164,9 +264,10 @@ type Metrics struct {
 	Histograms map[string]obs.HistogramSummary `json:"histograms,omitempty"`
 }
 
-func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// metricsDoc assembles the JSON metrics snapshot.
+func (e *Engine) metricsDoc() Metrics {
 	counters, hists := e.cfg.Tracer.MetricsSnapshot()
-	writeJSON(w, http.StatusOK, Metrics{
+	return Metrics{
 		Accepting:  e.Accepting(),
 		QueueLen:   e.QueueLen(),
 		QueueCap:   e.cfg.QueueDepth,
@@ -175,6 +276,46 @@ func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Counters:   counters,
 		Gauges:     e.cfg.Tracer.GaugesSnapshot(),
 		Histograms: hists,
+	}
+}
+
+// handleMetrics serves Prometheus text exposition by default and the
+// original JSON document under ?format=json. Both views read the same
+// snapshot; gauges are synced from the engine's live state first.
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	e.syncGauges()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, e.metricsDoc())
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	e.cfg.Tracer.WritePrometheus(w, obs.PromOptions{
+		Labels: []string{"replica", e.cfg.NodeName, "shard", e.cfg.Shard},
+	})
+}
+
+// FleetReplica is one replica's row of the fleet metrics document. An
+// unreachable replica keeps its row, with Error set and Metrics nil, so
+// a partial fleet view is visibly partial rather than silently smaller.
+type FleetReplica struct {
+	Replica string   `json:"replica"`
+	Self    bool     `json:"self,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	Metrics *Metrics `json:"metrics,omitempty"`
+}
+
+// FleetMetrics aggregates per-replica metric snapshots.
+type FleetMetrics struct {
+	Replicas []FleetReplica `json:"replicas"`
+}
+
+// handleFleetMetrics serves the single-replica fleet view; the shard
+// handler shadows this route with a scatter-gather across the peer set.
+func (e *Engine) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	e.syncGauges()
+	doc := e.metricsDoc()
+	writeJSON(w, http.StatusOK, FleetMetrics{
+		Replicas: []FleetReplica{{Replica: e.cfg.NodeName, Self: true, Metrics: &doc}},
 	})
 }
 

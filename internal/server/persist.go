@@ -133,6 +133,13 @@ func OpenStore(dir string, opts StoreOptions) (*PersistentStore, error) {
 // records in the log that the snapshot already folded in, and they must
 // apply as no-ops.
 func (p *PersistentStore) recover() error {
+	var start time.Time
+	if p.opts.Tracer.Enabled() {
+		start = time.Now()
+		defer func() {
+			p.opts.Tracer.Histogram(obs.MWALRecoverMS).Observe(float64(time.Since(start)) / 1e6)
+		}()
+	}
 	snapPath := filepath.Join(p.dir, snapFileName)
 	data, err := os.ReadFile(snapPath)
 	if err != nil && !os.IsNotExist(err) {
@@ -158,7 +165,7 @@ func (p *PersistentStore) recover() error {
 		return err
 	}
 	if truncated > 0 {
-		p.opts.Tracer.Counter("wal.truncated_tail").Add(1)
+		p.opts.Tracer.Counter(obs.MWALTruncatedTail).Add(1)
 		p.opts.Log.Warn("wal tail torn or corrupt, truncated", "bytes", truncated)
 	}
 	for _, rec := range recs {
@@ -183,7 +190,7 @@ func (p *PersistentStore) recover() error {
 		return na < nb
 	})
 	p.recovered = recovered
-	p.opts.Tracer.Counter("wal.recovered_jobs").Add(int64(len(recovered)))
+	p.opts.Tracer.Counter(obs.MWALRecoveredJobs).Add(int64(len(recovered)))
 	if len(recs) > 0 || len(recovered) > 0 {
 		p.opts.Log.Info("store recovered",
 			"jobs", len(p.mem.jobs), "wal_records", len(recs), "requeued", len(recovered))
@@ -292,6 +299,9 @@ func (p *PersistentStore) jobFromAccept(rec *walRecord) *Job {
 		explore:   rec.Explore,
 		timeout:   time.Duration(rec.TimeoutNS),
 	}
+	if tc, ok := obs.ParseTraceContext(rec.Trace); ok {
+		j.trace = tc
+	}
 	if len(rec.Doc) > 0 {
 		dec, err := boardio.Decode(bytes.NewReader(rec.Doc))
 		if err != nil {
@@ -340,16 +350,24 @@ func acceptRecord(j *Job) *walRecord {
 		TimeoutNS: int64(j.timeout), Explore: j.explore,
 		Manual: j.opt.WithManual, SkipExtract: j.opt.SkipExtract,
 		ExploreWorkers: j.opt.ExploreWorkers, ExploreSeq: j.opt.ExploreSequential,
+		Trace: j.trace.Header(),
 	}
 }
 
 // appendLocked writes one record and runs the compaction countdown.
 // Callers hold p.mu.
 func (p *PersistentStore) appendLocked(rec *walRecord, sync bool) error {
+	var start time.Time
+	if p.opts.Tracer.Enabled() {
+		start = time.Now()
+	}
 	if err := p.wal.append(rec, sync); err != nil {
 		return err
 	}
-	p.opts.Tracer.Counter("wal.appends").Add(1)
+	if p.opts.Tracer.Enabled() {
+		p.opts.Tracer.Histogram(obs.MWALAppendMS).Observe(float64(time.Since(start)) / 1e6)
+	}
+	p.opts.Tracer.Counter(obs.MWALAppends).Add(1)
 	p.appends++
 	if p.appends >= p.opts.SnapshotEvery {
 		if err := p.compactLocked(); err != nil {
@@ -365,6 +383,10 @@ func (p *PersistentStore) appendLocked(rec *walRecord, sync bool) error {
 func (p *PersistentStore) compactLocked() error {
 	if p.wal.killed {
 		return nil
+	}
+	var start time.Time
+	if p.opts.Tracer.Enabled() {
+		start = time.Now()
 	}
 	snap := p.snapshotRows()
 	data, err := json.Marshal(snap)
@@ -394,7 +416,10 @@ func (p *PersistentStore) compactLocked() error {
 		return err
 	}
 	p.appends = 0
-	p.opts.Tracer.Counter("wal.compactions").Add(1)
+	if p.opts.Tracer.Enabled() {
+		p.opts.Tracer.Histogram(obs.MWALCompactMS).Observe(float64(time.Since(start)) / 1e6)
+	}
+	p.opts.Tracer.Counter(obs.MWALCompactions).Add(1)
 	p.opts.Log.Info("wal compacted", "jobs", len(snap.Jobs))
 	return nil
 }

@@ -44,6 +44,12 @@ type Config struct {
 	// (replica identity for sharded deployments; a persistent store takes
 	// its name from StoreOptions instead).
 	NodeName string
+	// Shard labels this replica's Prometheus series with its shard
+	// identity ("" = NodeName).
+	Shard string
+	// FleetTimeout bounds each per-peer scrape of the fleet-metrics
+	// scatter-gather (default 2s).
+	FleetTimeout time.Duration
 	// QueueDepth bounds the admission queue; a submission that finds the
 	// queue full is rejected with sprout.ErrOverloaded (HTTP 429).
 	QueueDepth int
@@ -82,6 +88,12 @@ func (c Config) Normalize() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.FleetTimeout <= 0 {
+		c.FleetTimeout = 2 * time.Second
+	}
+	if c.Shard == "" {
+		c.Shard = c.NodeName
 	}
 	if c.Log == nil {
 		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -128,6 +140,14 @@ type Engine struct {
 
 	accepting atomic.Bool
 	inFlight  atomic.Int64
+
+	// partsMu guards the bounded store of foreign trace parts: span sets
+	// recorded on other replicas (or on this replica's proxy layer) for
+	// jobs this replica touched, keyed by job id and stitched on demand by
+	// GET /v1/jobs/{id}/trace.
+	partsMu   sync.Mutex
+	parts     map[string][]obs.TracePart
+	partsFIFO []string
 }
 
 // New builds an engine; call Start to spin up the workers.
@@ -152,6 +172,7 @@ func New(cfg Config) *Engine {
 		draining: make(chan struct{}),
 		runCtx:   ctx,
 		stopRun:  cancel,
+		parts:    map[string][]obs.TracePart{},
 	}
 	e.accepting.Store(true)
 	return e
@@ -163,7 +184,7 @@ func New(cfg Config) *Engine {
 func (e *Engine) Start() {
 	for _, j := range e.recovered {
 		e.queue <- j
-		e.count("server.jobs.recovered", 1)
+		e.count(obs.MJobsRecovered, 1)
 	}
 	if n := len(e.recovered); n > 0 {
 		e.cfg.Log.Info("re-enqueued recovered jobs", "jobs", n)
@@ -204,6 +225,10 @@ type SubmitOptions struct {
 	// explorer knobs (pool bound; force the sequential reference path).
 	ExploreWorkers    int
 	ExploreSequential bool
+	// Trace continues the submitter's distributed trace: the job tracer
+	// adopts its trace id and parents its root span under the propagated
+	// span ref. The zero value starts a fresh trace.
+	Trace obs.TraceContext
 }
 
 // canonicalSubmission derives the content identity of a submission: the
@@ -238,7 +263,7 @@ func canonicalSubmission(dec *boardio.Decoded, opt SubmitOptions) (raw []byte, h
 // submitter polls the same result.
 func (e *Engine) Submit(dec *boardio.Decoded, opt SubmitOptions) (Status, error) {
 	if !e.accepting.Load() {
-		e.count("server.jobs.rejected_shutdown", 1)
+		e.count(obs.MJobsRejectedShutdown, 1)
 		return Status{}, sprout.ErrShuttingDown
 	}
 	timeout := opt.Timeout
@@ -265,16 +290,17 @@ func (e *Engine) Submit(dec *boardio.Decoded, opt SubmitOptions) (Status, error)
 		},
 		Timeout: timeout,
 		Explore: opt.Explore,
+		Trace:   opt.Trace,
 	}
 	job, dedupe, err := e.store.Create(spec, time.Now())
 	if err != nil {
-		e.count("server.jobs.rejected_store", 1)
+		e.count(obs.MJobsRejectedStore, 1)
 		return Status{}, fmt.Errorf("server: submission not durable: %w", err)
 	}
 	if dedupe != DedupeNone {
-		e.count("server.jobs.deduped", 1)
+		e.count(obs.MJobsDeduped, 1)
 		if dedupe == DedupeContent {
-			e.count("dedupe.hits", 1)
+			e.count(obs.MDedupeHits, 1)
 		}
 		st := e.store.Status(job)
 		st.Deduped = true
@@ -282,11 +308,11 @@ func (e *Engine) Submit(dec *boardio.Decoded, opt SubmitOptions) (Status, error)
 	}
 	select {
 	case e.queue <- job:
-		e.count("server.jobs.accepted", 1)
+		e.count(obs.MJobsAccepted, 1)
 		return e.store.Status(job), nil
 	default:
 		e.store.Drop(job)
-		e.count("server.jobs.rejected_overloaded", 1)
+		e.count(obs.MJobsRejectedOverloaded, 1)
 		return Status{}, sprout.ErrOverloaded
 	}
 }
@@ -338,7 +364,14 @@ func (e *Engine) worker() {
 // per-job), and panic containment — a poisoned board marks its own job
 // failed and leaves the process serving.
 func (e *Engine) runJob(j *Job) {
-	tracer := obs.New()
+	topts := []obs.Option{obs.WithReplica(e.cfg.NodeName)}
+	if j.trace.Valid() {
+		// The submitter propagated an X-Sprout-Trace: adopt its trace id
+		// and hang this job's root span under the propagated span ref, so
+		// stitching reconstructs the cross-replica timeline.
+		topts = append(topts, obs.WithTraceID(j.trace.TraceID), obs.WithRemoteParent(j.trace.Parent))
+	}
+	tracer := obs.New(topts...)
 	doc, opt, explore, ok := e.store.SetRunning(j, tracer, time.Now())
 	if !ok {
 		return // already failed by the drain sweep
@@ -350,6 +383,8 @@ func (e *Engine) runJob(j *Job) {
 	ctx, cancel := context.WithTimeout(e.runCtx, j.timeout)
 	defer cancel()
 	ctx = obs.WithTracer(ctx, tracer)
+	ctx, jobSpan := obs.StartSpan(ctx, "Job",
+		obs.A("job", j.id), obs.A("replica", e.cfg.NodeName), obs.A("board", j.board))
 
 	start := time.Now()
 	var report *obs.RunReport
@@ -359,9 +394,9 @@ func (e *Engine) runJob(j *Job) {
 		ex, err = e.exploreContained(ctx, doc, opt)
 		if ex != nil {
 			e.store.NoteExploration(j, ex)
-			e.count("server.explore.orders", int64(ex.Stats.Orders))
-			e.count("server.explore.prefix_hits", ex.Stats.PrefixHits)
-			e.count("server.explore.prefix_misses", ex.Stats.PrefixMisses)
+			e.count(obs.MServerExploreOrders, int64(ex.Stats.Orders))
+			e.count(obs.MServerExploreHits, ex.Stats.PrefixHits)
+			e.count(obs.MServerExploreMisses, ex.Stats.PrefixMisses)
 			if ex.Best != nil {
 				report = ex.Best.Report
 			}
@@ -380,17 +415,22 @@ func (e *Engine) runJob(j *Job) {
 		// straggler, and its terminal error says so.
 		err = fmt.Errorf("%w: %w", sprout.ErrShuttingDown, err)
 	}
+	jobSpan.Fail(err)
+	jobSpan.End()
+	// Fold the job tracer's stage/solver metrics into the replica tracer,
+	// so /metrics exposes per-stage latency quantiles across all jobs.
+	e.cfg.Tracer.AbsorbMetrics(tracer)
 	if !e.store.Finish(j, report, err, time.Now()) {
 		return
 	}
-	e.observe("server.job.queue_wait_ms", float64(queueWait.Nanoseconds())/1e6)
-	e.observe("server.job.run_ms", float64(dur.Nanoseconds())/1e6)
+	e.observe(obs.MJobQueueWaitMS, float64(queueWait.Nanoseconds())/1e6)
+	e.observe(obs.MJobRunMS, float64(dur.Nanoseconds())/1e6)
 	if err != nil {
-		e.count("server.jobs.failed", 1)
-		e.count("server.jobs.failed_"+string(classify(err)), 1)
+		e.count(obs.MJobsFailed, 1)
+		e.count(obs.MJobsFailedPrefix+string(classify(err)), 1)
 		e.cfg.Log.Warn("job failed", "job", j.id, "board", j.board, "kind", classify(err), "err", err)
 	} else {
-		e.count("server.jobs.done", 1)
+		e.count(obs.MJobsDone, 1)
 		e.cfg.Log.Info("job done", "job", j.id, "board", j.board, "run_ms", dur.Milliseconds())
 	}
 }
@@ -402,7 +442,7 @@ func (e *Engine) runJob(j *Job) {
 func (e *Engine) routeContained(ctx context.Context, doc *boardio.Decoded, opt sprout.RouteOptions) (res *sprout.BoardResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.count("server.jobs.panics", 1)
+			e.count(obs.MJobsPanics, 1)
 			err = &sprout.PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -414,7 +454,7 @@ func (e *Engine) routeContained(ctx context.Context, doc *boardio.Decoded, opt s
 func (e *Engine) exploreContained(ctx context.Context, doc *boardio.Decoded, opt sprout.RouteOptions) (ex *sprout.OrderExploration, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.count("server.jobs.panics", 1)
+			e.count(obs.MJobsPanics, 1)
 			err = &sprout.PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -454,12 +494,78 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	// than vanishing. This is the zero-loss guarantee.
 	for _, j := range e.store.NonTerminal() {
 		if e.store.Finish(j, nil, sprout.ErrShuttingDown, time.Now()) {
-			e.count("server.jobs.failed", 1)
-			e.count("server.jobs.failed_"+string(KindShutdown), 1)
+			e.count(obs.MJobsFailed, 1)
+			e.count(obs.MJobsFailedPrefix+string(KindShutdown), 1)
 		}
 	}
 	e.cfg.Log.Info("drained", "err", err)
 	return err
+}
+
+// maxTracePartJobs bounds how many jobs' foreign trace parts a replica
+// retains for stitching; the oldest job's parts go first.
+const maxTracePartJobs = 512
+
+// AddTracePart records a trace part captured outside this job's own
+// tracer — on another replica, or by this replica's proxy layer — so
+// GET /v1/jobs/{id}/trace can stitch the cross-replica timeline.
+func (e *Engine) AddTracePart(jobID string, part obs.TracePart) {
+	if jobID == "" || (len(part.Spans) == 0 && len(part.Events) == 0) {
+		return
+	}
+	var evicted int
+	e.partsMu.Lock()
+	if _, ok := e.parts[jobID]; !ok {
+		e.partsFIFO = append(e.partsFIFO, jobID)
+	}
+	e.parts[jobID] = append(e.parts[jobID], part)
+	for len(e.partsFIFO) > maxTracePartJobs {
+		old := e.partsFIFO[0]
+		e.partsFIFO = e.partsFIFO[1:]
+		evicted += len(e.parts[old])
+		delete(e.parts, old)
+	}
+	e.partsMu.Unlock()
+	e.count(obs.MTracePartsStored, 1)
+	if evicted > 0 {
+		e.count(obs.MTracePartsEvicted, int64(evicted))
+	}
+}
+
+// TraceParts returns every part known locally for a job: the job's own
+// tracer part (when it ran here) plus foreign parts recorded by the
+// proxy layer. Empty when the job is unknown and nothing was recorded.
+func (e *Engine) TraceParts(id string) []obs.TracePart {
+	var parts []obs.TracePart
+	if j := e.store.Get(id); j != nil {
+		if _, tr := e.store.Result(j); tr != nil {
+			if p := tr.TracePart(); len(p.Spans) > 0 || len(p.Events) > 0 {
+				parts = append(parts, p)
+			}
+		}
+	}
+	e.partsMu.Lock()
+	parts = append(parts, e.parts[id]...)
+	e.partsMu.Unlock()
+	return parts
+}
+
+// syncGauges publishes the engine's live state into the tracer's gauge
+// table so a scrape reads current values, not the last job's.
+func (e *Engine) syncGauges() {
+	t := e.cfg.Tracer
+	if !t.Enabled() {
+		return
+	}
+	var acc int64
+	if e.accepting.Load() {
+		acc = 1
+	}
+	t.Gauge(obs.MServerAccepting).Set(acc)
+	t.Gauge(obs.MServerQueueLen).Set(int64(e.QueueLen()))
+	t.Gauge(obs.MServerQueueCap).Set(int64(e.cfg.QueueDepth))
+	t.Gauge(obs.MServerInFlight).Set(e.InFlight())
+	t.Gauge(obs.MServerWorkers).Set(int64(e.cfg.Workers))
 }
 
 func (e *Engine) count(name string, n int64) {

@@ -357,7 +357,7 @@ func TestHTTPSurface(t *testing.T) {
 	}
 
 	// Metrics reflect the rejection and the gauges.
-	mresp, body := get("/metrics")
+	mresp, body := get("/metrics?format=json")
 	if mresp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics = %d", mresp.StatusCode)
 	}

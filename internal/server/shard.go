@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -17,6 +18,12 @@ import (
 
 	"sprout/internal/obs"
 )
+
+// forwardedByHeader marks a request already routed by a peer. It bounds
+// proxy forwarding to one hop (a misconfigured ring degrades to local
+// service instead of looping) and keeps peer-to-peer gathers — trace
+// parts, fleet scrapes — from fanning out recursively.
+const forwardedByHeader = "X-Sprout-Forwarded-By"
 
 // This file is the multi-replica layer: a consistent-hash ring assigns
 // every submission an owning replica, the ShardClient routes and fails
@@ -191,13 +198,22 @@ func NewShardClient(bases []string, seed int64, configure func(*Client)) *ShardC
 // replica fails, the error is a typed *AllReplicasError.
 func (s *ShardClient) Submit(ctx context.Context, doc []byte, idemKey string) (Status, error) {
 	key := ContentKey(doc, idemKey)
+	if s.Tracer.Enabled() {
+		// Client-side spans: each replica attempt becomes a hop of the
+		// distributed trace, and the X-Sprout-Trace header the per-replica
+		// client derives from the span context parents the server side.
+		ctx = obs.WithTracer(ctx, s.Tracer)
+	}
 	errs := map[string]error{}
 	for i, base := range s.ring.sequence(key) {
 		if i > 0 {
-			s.count("shard.failovers", 1)
+			s.count(obs.MShardFailovers, 1)
 		}
 		c := s.replicas[base]
-		st, err := c.Submit(ctx, doc, idemKey)
+		sctx, sp := obs.StartSpan(ctx, "ShardSubmit", obs.A("peer", base), obs.A("attempt", i+1))
+		st, err := c.Submit(sctx, doc, idemKey)
+		sp.Fail(err)
+		sp.End()
 		if err == nil {
 			s.mu.Lock()
 			s.owners[st.ID] = c
@@ -289,14 +305,18 @@ func (e *Engine) ShardHandler(self string, peers []string, client *http.Client) 
 		client = http.DefaultClient
 	}
 	local := e.Handler()
-	p := &shardProxy{engine: e, local: local, self: self, ring: newHashRing(append([]string{self}, peers...)), http: client}
+	p := &shardProxy{
+		engine: e, local: local, self: self, peers: append([]string(nil), peers...),
+		ring: newHashRing(append([]string{self}, peers...)), http: client,
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", p.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", p.read)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", p.read)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", p.read)
-	// Liveness, readiness and metrics are always answered locally: they
-	// describe this replica, not the cluster.
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", p.trace)
+	mux.HandleFunc("GET /v1/fleet/metrics", p.fleetMetrics)
+	// Liveness, readiness, metrics and raw trace parts are always answered
+	// locally: they describe this replica, not the cluster.
 	mux.Handle("/", local)
 	return mux
 }
@@ -305,15 +325,58 @@ type shardProxy struct {
 	engine *Engine
 	local  http.Handler
 	self   string
+	peers  []string
 	ring   *hashRing
 	http   *http.Client
+}
+
+// captureWriter tees the response body (bounded) so the proxy can read
+// the job id out of the status JSON it just relayed.
+type captureWriter struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (c *captureWriter) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *captureWriter) Write(b []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	if c.buf.Len() < maxBodyBytes {
+		c.buf.Write(b)
+	}
+	return c.ResponseWriter.Write(b)
+}
+
+// jobIDFromBody extracts the job id from a submit response body ("" when
+// the body is not a status document).
+func jobIDFromBody(body []byte) string {
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return ""
+	}
+	return st.ID
 }
 
 // submit routes a submission to its owning replica. The body must be
 // read up front to compute the routing key; it is re-wrapped for
 // whichever handler ends up serving it.
+//
+// Every hop is traced: the proxy opens a tracer that continues the
+// client's X-Sprout-Trace (or starts the trace when there is none), one
+// "ShardSubmit" span per attempted replica, and forwards the span's own
+// header so the executing replica's job span nests under the hop that
+// delivered it. The proxy's spans are filed under the resulting job id,
+// ready to be stitched into the job's cross-replica trace.
 func (p *shardProxy) submit(w http.ResponseWriter, r *http.Request) {
-	if r.Header.Get("X-Sprout-Forwarded-By") != "" {
+	if r.Header.Get(forwardedByHeader) != "" {
 		// Already routed by a peer: serve locally, never re-forward. This
 		// bounds any misconfigured ring to a single hop instead of a loop.
 		p.local.ServeHTTP(w, r)
@@ -328,56 +391,98 @@ func (p *shardProxy) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
 		return
 	}
+	// The proxy's hop spans record under the node name (matching the job
+	// tracer's replica attribution); the self URL is only a ring address.
+	replica := p.engine.cfg.NodeName
+	if replica == "" {
+		replica = p.self
+	}
+	topts := []obs.Option{obs.WithReplica(replica)}
+	if tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeaderName)); ok {
+		topts = append(topts, obs.WithTraceID(tc.TraceID), obs.WithRemoteParent(tc.Parent))
+	}
+	tr := obs.New(topts...)
+	ctx := obs.WithTracer(r.Context(), tr)
+
 	key := ContentKey(body, r.Header.Get("Idempotency-Key"))
 	for i, node := range p.ring.sequence(key) {
 		if i > 0 {
-			p.engine.count("shard.failovers", 1)
+			p.engine.count(obs.MShardFailovers, 1)
 		}
+		sctx, sp := obs.StartSpan(ctx, "ShardSubmit", obs.A("peer", node), obs.A("attempt", i+1))
 		if node == p.self {
-			r2 := r.Clone(r.Context())
-			r2.Body = io.NopCloser(bytes.NewReader(body))
-			p.local.ServeHTTP(w, r2)
+			p.serveLocalSubmit(w, r, sctx, body, tr, sp)
 			return
 		}
-		if p.forward(w, r, node, body) {
+		if served, jobID := p.forward(w, r, node, body, obs.TraceHeader(sctx)); served {
+			sp.End()
+			p.engine.AddTracePart(jobID, tr.TracePart())
 			return
 		}
+		sp.Fail(errors.New("peer unreachable"))
+		sp.End()
 	}
 	// Every remote owner was unreachable and self was not on the
 	// sequence (cannot happen — self is always ringed) or forwarding
 	// failed everywhere: serve locally so the cluster degrades to a
 	// single replica instead of erroring.
+	sctx, sp := obs.StartSpan(ctx, "ShardSubmit", obs.A("peer", p.self), obs.A("fallback", true))
+	p.serveLocalSubmit(w, r, sctx, body, tr, sp)
+}
+
+// serveLocalSubmit hands the submission to the local engine with the
+// proxy hop's trace header attached, then files the proxy spans under
+// the job id the engine answered with.
+func (p *shardProxy) serveLocalSubmit(w http.ResponseWriter, r *http.Request, sctx context.Context, body []byte, tr *obs.Tracer, sp *obs.Span) {
 	r2 := r.Clone(r.Context())
 	r2.Body = io.NopCloser(bytes.NewReader(body))
-	p.local.ServeHTTP(w, r2)
+	if hdr := obs.TraceHeader(sctx); hdr != "" {
+		r2.Header.Set(obs.TraceHeaderName, hdr)
+	}
+	cw := &captureWriter{ResponseWriter: w}
+	p.local.ServeHTTP(cw, r2)
+	sp.End()
+	p.engine.AddTracePart(jobIDFromBody(cw.buf.Bytes()), tr.TracePart())
 }
 
 // forward proxies the submission to a peer. It reports true when the
 // peer produced any HTTP response (even a rejection — that is the
 // peer's answer, not a transport failure) and false when the peer was
-// unreachable, in which case the caller fails over.
-func (p *shardProxy) forward(w http.ResponseWriter, r *http.Request, base string, body []byte) bool {
+// unreachable, in which case the caller fails over. On success the
+// second return is the job id the peer answered with ("" on rejection
+// bodies), so the caller can file its hop spans under the job.
+func (p *shardProxy) forward(w http.ResponseWriter, r *http.Request, base string, body []byte, traceHeader string) (bool, string) {
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
-		return false
+		return false, ""
 	}
 	req.Header = r.Header.Clone()
-	req.Header.Set("X-Sprout-Forwarded-By", p.self)
+	req.Header.Set(forwardedByHeader, p.self)
+	if traceHeader != "" {
+		req.Header.Set(obs.TraceHeaderName, traceHeader)
+	}
 	resp, err := p.http.Do(req)
 	if err != nil {
 		p.engine.cfg.Log.Warn("shard forward failed", "peer", base, "err", err)
-		return false
+		return false, ""
 	}
 	defer resp.Body.Close()
-	relay(w, resp)
-	return true
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+	return true, jobIDFromBody(respBody)
 }
 
 // read serves job status/result/trace: locally when this replica holds
 // the job, else scattered to the peers in ring order. A peer's 404
 // keeps scattering; any other peer answer is relayed as-is.
 func (p *shardProxy) read(w http.ResponseWriter, r *http.Request) {
-	if p.engine.store.Get(r.PathValue("id")) != nil || r.Header.Get("X-Sprout-Forwarded-By") != "" {
+	if p.engine.store.Get(r.PathValue("id")) != nil || r.Header.Get(forwardedByHeader) != "" {
 		p.local.ServeHTTP(w, r)
 		return
 	}
@@ -389,7 +494,7 @@ func (p *shardProxy) read(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue
 		}
-		req.Header.Set("X-Sprout-Forwarded-By", p.self)
+		req.Header.Set(forwardedByHeader, p.self)
 		resp, err := p.http.Do(req)
 		if err != nil {
 			continue
@@ -404,6 +509,126 @@ func (p *shardProxy) read(w http.ResponseWriter, r *http.Request) {
 	}
 	// Nobody has it: answer with the local 404.
 	p.local.ServeHTTP(w, r)
+}
+
+// trace serves the fleet-stitched Chrome trace for a job. The replica
+// that knows the job gathers every peer's trace parts, merges them with
+// its own, and serves one timeline; a replica that does not know the
+// job relays to whichever peer does (whose stitcher gathers back from
+// everyone, including this replica). A request already forwarded once
+// is answered from local parts only — gathers never recurse.
+func (p *shardProxy) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	forwarded := r.Header.Get(forwardedByHeader) != ""
+	known := p.engine.store.Get(id) != nil || len(p.engine.TraceParts(id)) > 0
+	if !known && !forwarded {
+		p.read(w, r)
+		return
+	}
+	if known && !forwarded {
+		if peer := p.gatherPeerParts(r.Context(), id); len(peer) > 0 {
+			writeStitchedTrace(w, p.engine.cfg.Log, id, append(p.engine.TraceParts(id), peer...))
+			return
+		}
+	}
+	// No peer contributed (single replica, or everyone unreachable):
+	// the local handler stitches what this replica holds, and keeps the
+	// 202/404 semantics for unstarted or unknown jobs.
+	p.local.ServeHTTP(w, r)
+}
+
+// gatherPeerParts collects the trace parts every peer holds for a job,
+// sequentially, each under the fleet timeout. Unreachable peers and
+// 404s contribute nothing — a partial trace is still a trace.
+func (p *shardProxy) gatherPeerParts(ctx context.Context, id string) []obs.TracePart {
+	var parts []obs.TracePart
+	for _, node := range p.peers {
+		pctx, cancel := context.WithTimeout(ctx, p.engine.cfg.FleetTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, node+"/v1/jobs/"+id+"/traceparts", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set(forwardedByHeader, p.self)
+		resp, err := p.http.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			var peer []obs.TracePart
+			if derr := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&peer); derr == nil {
+				parts = append(parts, peer...)
+			}
+		}
+		resp.Body.Close()
+		cancel()
+	}
+	return parts
+}
+
+// fleetMetrics scatter-gathers every replica's metrics snapshot. Peers
+// are scraped concurrently, each under its own fleet timeout; an
+// unreachable peer keeps its row with the error recorded, so a partial
+// fleet view is visibly partial ("replica down") rather than silently
+// smaller ("replica missing").
+func (p *shardProxy) fleetMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(forwardedByHeader) != "" {
+		p.local.ServeHTTP(w, r)
+		return
+	}
+	p.engine.syncGauges()
+	self := p.engine.metricsDoc()
+	peerRows := make([]FleetReplica, len(p.peers))
+	var wg sync.WaitGroup
+	for i, node := range p.peers {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			peerRows[i] = p.scrapePeer(r.Context(), node)
+		}(i, node)
+	}
+	wg.Wait()
+	rows := append([]FleetReplica{{Replica: p.self, Self: true, Metrics: &self}}, peerRows...)
+	writeJSON(w, http.StatusOK, FleetMetrics{Replicas: rows})
+}
+
+// scrapePeer fetches one peer's JSON metrics snapshot under the fleet
+// timeout, recording fleet.peer_errors and fleet.scrape_ms.
+func (p *shardProxy) scrapePeer(ctx context.Context, node string) FleetReplica {
+	row := FleetReplica{Replica: node}
+	start := time.Now()
+	pctx, cancel := context.WithTimeout(ctx, p.engine.cfg.FleetTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, node+"/metrics?format=json", nil)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	req.Header.Set(forwardedByHeader, p.self)
+	resp, err := p.http.Do(req)
+	if err != nil {
+		p.engine.count(obs.MFleetPeerErrors, 1)
+		row.Error = err.Error()
+		return row
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.engine.count(obs.MFleetPeerErrors, 1)
+		row.Error = fmt.Sprintf("unexpected status %d", resp.StatusCode)
+		return row
+	}
+	m := &Metrics{}
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(m); derr != nil {
+		p.engine.count(obs.MFleetPeerErrors, 1)
+		row.Error = derr.Error()
+		return row
+	}
+	row.Metrics = m
+	if p.engine.cfg.Tracer.Enabled() {
+		p.engine.cfg.Tracer.Histogram(obs.MFleetScrapeMS).Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}
+	return row
 }
 
 // relay copies a proxied response through verbatim.

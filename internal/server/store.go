@@ -108,6 +108,10 @@ type Job struct {
 	exploration *ExplorationSummary
 	// timeout is the per-job deadline.
 	timeout time.Duration
+	// trace is the distributed-trace position propagated with the
+	// submission (zero when the submitter carried no X-Sprout-Trace);
+	// the worker's tracer continues it. Immutable after Create.
+	trace obs.TraceContext
 	// report is the per-job machine-readable run summary (nil until
 	// done; a failed run may still carry a partial tracer).
 	report *obs.RunReport
@@ -173,6 +177,9 @@ type JobSpec struct {
 	// worker path.
 	Timeout time.Duration
 	Explore bool
+	// Trace continues the submitter's distributed trace (zero = start a
+	// fresh one when the job runs).
+	Trace obs.TraceContext
 }
 
 // DedupeKind reports how Create matched a submission to an existing job.
@@ -305,6 +312,7 @@ func (s *memStore) Create(spec JobSpec, now time.Time) (j *Job, dedupe DedupeKin
 		raw:       spec.Raw,
 		explore:   spec.Explore,
 		timeout:   spec.Timeout,
+		trace:     spec.Trace,
 	}
 	s.insertLocked(j)
 	return j, DedupeNone, nil
