@@ -1,0 +1,291 @@
+package sprout
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"sprout/internal/board"
+	"sprout/internal/extract"
+	"sprout/internal/faultinject"
+	"sprout/internal/geom"
+	"sprout/internal/manual"
+	"sprout/internal/route"
+	"sprout/internal/sparse"
+)
+
+// An exploration checkpoint freezes the parallel explorer's reduction
+// frontier: every order settled so far (score or failure), plus the
+// winning prefix's immutable routeState snapshot. A run resumed from a
+// checkpoint replays that frontier verbatim and only routes the orders
+// past it, producing results bit-identical to an uninterrupted sweep —
+// the PR 5 differential harness is the gate — while routing strictly
+// fewer rails.
+//
+// Checkpoints are framed for hostile storage: a magic, a version, the
+// payload length and a CRC-32 guard the JSON payload, so a torn write or
+// bit rot inside an intact WAL record is detected and rejected (the
+// caller then simply restarts the sweep from scratch) instead of
+// resuming from garbage.
+const (
+	checkpointMagic   = "SPK1"
+	checkpointVersion = 1
+	// checkpointHeaderSize is magic + version + payload length + CRC.
+	checkpointHeaderSize = 4 + 4 + 4 + 4
+	// checkpointMaxFrame bounds a plausible payload; a length field beyond
+	// it is corruption, not an allocation.
+	checkpointMaxFrame = 64 << 20
+)
+
+// ExploreCheckpoint is the serializable frontier of an order sweep.
+type ExploreCheckpoint struct {
+	// OrdersHash fingerprints the board identity, the routing knobs that
+	// affect per-order results, and the exact order enumeration. A resume
+	// whose recomputed fingerprint differs is rejected: the checkpoint
+	// belongs to a different problem.
+	OrdersHash string `json:"orders_hash"`
+	// Orders is the total enumeration length; Done is how many leading
+	// orders had settled when the checkpoint was taken.
+	Orders int `json:"orders"`
+	Done   int `json:"done"`
+	// Settled records the outcome of each settled order, in enumeration
+	// order (len == Done).
+	Settled []CheckpointOrder `json:"settled,omitempty"`
+	// BestIndex is the enumeration index of the current winner (-1 when
+	// every settled order failed), BestScore its score, and Best the
+	// winning prefix's routed snapshot.
+	BestIndex int              `json:"best_index"`
+	BestScore float64          `json:"best_score,omitempty"`
+	Best      *CheckpointState `json:"best,omitempty"`
+}
+
+// CheckpointOrder is the settled outcome of one enumerated order.
+type CheckpointOrder struct {
+	// Index is the order's enumeration index (redundant with position,
+	// kept as a consistency check).
+	Index int `json:"index"`
+	// Score is the order's weighted resistance when it evaluated.
+	Score float64 `json:"score,omitempty"`
+	// Failed marks an order that did not route; Err/Kind/FailedNet
+	// preserve its OrderError.
+	Failed    bool   `json:"failed,omitempty"`
+	Err       string `json:"err,omitempty"`
+	Kind      string `json:"kind,omitempty"`
+	FailedNet int    `json:"failed_net,omitempty"`
+}
+
+// CheckpointState serializes a routeState. Regions round-trip exactly
+// through their canonical band decomposition (Rects/RegionFromRects);
+// the rail fields the differential equality gate inspects are all kept.
+// Route.Members and Route.Graph are deliberately dropped — they are
+// routing scratch state no consumer of a winning board reads — and a
+// winning snapshot under the explorer's forced FailFast never carries a
+// Diag error, so RailDiag is not serialized at all.
+type CheckpointState struct {
+	Rails        []CheckpointRail `json:"rails"`
+	SproutCopper []geom.Rect      `json:"sprout_copper,omitempty"`
+	ManualCopper []geom.Rect      `json:"manual_copper,omitempty"`
+}
+
+// CheckpointRail serializes one RailResult of the winning snapshot.
+type CheckpointRail struct {
+	Net           int               `json:"net"`
+	Name          string            `json:"name"`
+	Budget        int64             `json:"budget,omitempty"`
+	Route         *CheckpointRoute  `json:"route,omitempty"`
+	Extract       *extract.Report   `json:"extract,omitempty"`
+	Manual        *CheckpointManual `json:"manual,omitempty"`
+	ManualExtract *extract.Report   `json:"manual_extract,omitempty"`
+	Solve         sparse.SolveStats `json:"solve"`
+}
+
+// CheckpointRoute serializes the route.Result fields a finished board
+// carries forward.
+type CheckpointRoute struct {
+	Shape          []geom.Rect        `json:"shape"`
+	Resistance     float64            `json:"resistance"`
+	PairResistance []float64          `json:"pair_resistance,omitempty"`
+	Trace          []route.IterRecord `json:"trace,omitempty"`
+	Solve          sparse.SolveStats  `json:"solve"`
+}
+
+// CheckpointManual serializes the manual-baseline result.
+type CheckpointManual struct {
+	Shape []geom.Rect `json:"shape"`
+	Width int64       `json:"width"`
+}
+
+// EncodeCheckpoint frames a checkpoint for durable storage.
+func EncodeCheckpoint(ck *ExploreCheckpoint) ([]byte, error) {
+	if ck == nil {
+		return nil, errors.New("sprout: encode nil checkpoint")
+	}
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return nil, fmt.Errorf("sprout: encode checkpoint: %w", err)
+	}
+	buf := make([]byte, checkpointHeaderSize+len(payload))
+	copy(buf[0:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], checkpointVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
+	copy(buf[checkpointHeaderSize:], payload)
+	return buf, nil
+}
+
+// DecodeCheckpoint parses and validates a checkpoint frame. Any damage —
+// wrong magic or version, torn frame, CRC mismatch, unparseable payload,
+// or internally inconsistent frontier — is an error; the caller treats a
+// failed decode as "no checkpoint" and restarts the sweep from scratch.
+func DecodeCheckpoint(frame []byte) (*ExploreCheckpoint, error) {
+	if ferr := faultinject.Check(faultinject.SiteCkptDecode); ferr != nil {
+		return nil, fmt.Errorf("sprout: decode checkpoint: %w", ferr)
+	}
+	if len(frame) < checkpointHeaderSize {
+		return nil, fmt.Errorf("sprout: checkpoint frame truncated (%d bytes)", len(frame))
+	}
+	if string(frame[0:4]) != checkpointMagic {
+		return nil, errors.New("sprout: checkpoint frame has wrong magic")
+	}
+	if v := binary.LittleEndian.Uint32(frame[4:8]); v != checkpointVersion {
+		return nil, fmt.Errorf("sprout: checkpoint version %d not supported", v)
+	}
+	n := int(binary.LittleEndian.Uint32(frame[8:12]))
+	if n <= 0 || n > checkpointMaxFrame || len(frame)-checkpointHeaderSize != n {
+		return nil, fmt.Errorf("sprout: checkpoint length %d inconsistent with frame of %d bytes", n, len(frame))
+	}
+	payload := frame[checkpointHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[12:16]) {
+		return nil, errors.New("sprout: checkpoint CRC mismatch")
+	}
+	ck := &ExploreCheckpoint{}
+	if err := json.Unmarshal(payload, ck); err != nil {
+		return nil, fmt.Errorf("sprout: checkpoint payload: %w", err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// validate rejects internally inconsistent frontiers — the shapes a
+// fuzzer (or bit rot that keeps JSON parseable) can produce.
+func (ck *ExploreCheckpoint) validate() error {
+	switch {
+	case ck.Orders <= 0:
+		return fmt.Errorf("sprout: checkpoint enumerates %d orders", ck.Orders)
+	case ck.Done < 0 || ck.Done > ck.Orders:
+		return fmt.Errorf("sprout: checkpoint settled %d of %d orders", ck.Done, ck.Orders)
+	case len(ck.Settled) != ck.Done:
+		return fmt.Errorf("sprout: checkpoint carries %d settled outcomes for %d done orders", len(ck.Settled), ck.Done)
+	case ck.BestIndex < -1 || ck.BestIndex >= ck.Done:
+		return fmt.Errorf("sprout: checkpoint best index %d outside settled prefix of %d", ck.BestIndex, ck.Done)
+	case ck.BestIndex >= 0 && ck.Best == nil:
+		return errors.New("sprout: checkpoint has a best index but no best state")
+	case ck.BestIndex < 0 && ck.Best != nil:
+		return errors.New("sprout: checkpoint has a best state but no best index")
+	}
+	for i, co := range ck.Settled {
+		if co.Index != i {
+			return fmt.Errorf("sprout: checkpoint settled[%d] carries index %d", i, co.Index)
+		}
+	}
+	if ck.BestIndex >= 0 {
+		if co := ck.Settled[ck.BestIndex]; co.Failed {
+			return fmt.Errorf("sprout: checkpoint best index %d points at a failed order", ck.BestIndex)
+		}
+	}
+	return nil
+}
+
+// ordersFingerprint hashes everything a checkpoint's settled outcomes
+// depend on: board identity, the routing knobs that change per-order
+// results, and the exact enumeration. Two sweeps with equal fingerprints
+// settle identical outcomes for identical indices.
+func ordersFingerprint(b *board.Board, opt RouteOptions, orders [][]board.NetID) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "board=%s layer=%d manual=%t skipx=%t pitch=%d\n",
+		b.Name, opt.Layer, opt.WithManual, opt.SkipExtract, opt.ExtractPitch)
+	// route.Config is a flat struct of scalars, so %+v is deterministic.
+	fmt.Fprintf(h, "config=%+v\n", opt.Config)
+	ids := make([]int, 0, len(opt.Budgets))
+	for id := range opt.Budgets {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(h, "budget %d=%d\n", id, opt.Budgets[board.NetID(id)])
+	}
+	for _, order := range orders {
+		for _, id := range order {
+			fmt.Fprintf(h, "%d,", int(id))
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encodeRouteState serializes an immutable routed snapshot.
+func encodeRouteState(st *routeState) *CheckpointState {
+	cs := &CheckpointState{
+		SproutCopper: st.sproutCopper.Rects(),
+		ManualCopper: st.manualCopper.Rects(),
+	}
+	for _, rail := range st.rails {
+		cr := CheckpointRail{
+			Net: int(rail.Net), Name: rail.Name, Budget: rail.Budget,
+			Extract: rail.Extract, ManualExtract: rail.ManualExtract,
+			Solve: rail.Solve,
+		}
+		if rail.Route != nil {
+			cr.Route = &CheckpointRoute{
+				Shape:          rail.Route.Shape.Rects(),
+				Resistance:     rail.Route.Resistance,
+				PairResistance: rail.Route.PairResistance,
+				Trace:          rail.Route.Trace,
+				Solve:          rail.Route.Solve,
+			}
+		}
+		if rail.Manual != nil {
+			cr.Manual = &CheckpointManual{Shape: rail.Manual.Shape.Rects(), Width: rail.Manual.Width}
+		}
+		cs.Rails = append(cs.Rails, cr)
+	}
+	return cs
+}
+
+// restore rebuilds the routed snapshot. Region canonicalization makes
+// the round trip exact: Rects() emits the canonical band decomposition
+// and RegionFromRects re-canonicalizes to the identical region.
+func (cs *CheckpointState) restore() *routeState {
+	st := &routeState{
+		sproutCopper: geom.RegionFromRects(cs.SproutCopper),
+		manualCopper: geom.RegionFromRects(cs.ManualCopper),
+	}
+	for _, cr := range cs.Rails {
+		rail := RailResult{
+			Net: board.NetID(cr.Net), Name: cr.Name, Budget: cr.Budget,
+			Extract: cr.Extract, ManualExtract: cr.ManualExtract,
+			Solve: cr.Solve,
+		}
+		if cr.Route != nil {
+			rail.Route = &route.Result{
+				Shape:          geom.RegionFromRects(cr.Route.Shape),
+				Resistance:     cr.Route.Resistance,
+				PairResistance: cr.Route.PairResistance,
+				Trace:          cr.Route.Trace,
+				Solve:          cr.Route.Solve,
+			}
+		}
+		if cr.Manual != nil {
+			rail.Manual = &manual.Result{Shape: geom.RegionFromRects(cr.Manual.Shape), Width: cr.Manual.Width}
+		}
+		st.rails = append(st.rails, rail)
+	}
+	return st
+}

@@ -6,7 +6,9 @@
 //	POST /v1/jobs              submit a board (Idempotency-Key dedupes retries,
 //	                           ?timeout=90s bounds the job, ?manual=1, ?skip_extract=1,
 //	                           X-Sprout-Trace continues a distributed trace)
+//	GET  /v1/jobs              list jobs (?state=quarantined for the parked set)
 //	GET  /v1/jobs/{id}         poll status
+//	POST /v1/jobs/{id}/requeue revive a quarantined job with a fresh attempt budget
 //	GET  /v1/jobs/{id}/result  run report (429/503/504/500 map the typed errors)
 //	GET  /v1/jobs/{id}/trace   stitched Chrome trace of the run (open in Perfetto)
 //	GET  /v1/fleet/metrics     per-replica metric snapshots (scatter-gathered)
@@ -22,6 +24,13 @@
 // replays the log, truncates any torn tail, and re-runs everything that
 // had not reached a terminal state. -no-fsync trades that guarantee for
 // faster accepts.
+//
+// Recovery counts job starts: a job that has started -max-attempts times
+// without finishing is quarantined instead of re-enqueued, so one
+// poisonous board cannot crash-loop the replica forever. Exploration
+// jobs additionally checkpoint their progress every -checkpoint-every
+// settled orders; a re-run after a crash (or an operator requeue)
+// resumes mid-sweep with identical results.
 //
 // With -self and -peers, the replica joins a consistent-hash shard ring:
 // submissions owned by a peer are proxied there (failing over along the
@@ -63,6 +72,8 @@ func main() {
 	name := flag.String("name", "", "replica name: prefixes job ids so they are unique across a shard ring")
 	noFsync := flag.Bool("no-fsync", false, "skip the fsync after each accepted job (faster accepts, jobs in the unsynced window can vanish in a crash)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "WAL appends between snapshot+compaction passes (0 = default)")
+	maxAttempts := flag.Int("max-attempts", 0, "job starts before recovery quarantines a crash-looping job (0 = default 3, negative disables)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "settled orders between durable exploration checkpoints (0 = default 8, negative disables)")
 	self := flag.String("self", "", "this replica's base URL on the shard ring (enables proxy mode with -peers)")
 	peers := flag.String("peers", "", "comma-separated peer base URLs on the shard ring")
 	shard := flag.String("shard", "", "shard label on exported Prometheus series (default: replica name)")
@@ -87,6 +98,7 @@ func main() {
 			Name:          *name,
 			NoSync:        *noFsync,
 			SnapshotEvery: *snapshotEvery,
+			MaxAttempts:   *maxAttempts,
 			Tracer:        tracer,
 			Log:           log,
 		})
@@ -104,18 +116,19 @@ func main() {
 	}
 
 	eng := server.New(server.Config{
-		Workers:       *workers,
-		Store:         store,
-		NodeName:      *name,
-		Shard:         *shard,
-		FleetTimeout:  *fleetTimeout,
-		QueueDepth:    *queue,
-		JobTimeout:    *jobTimeout,
-		MaxJobTimeout: *maxJobTimeout,
-		DrainTimeout:  *drain,
-		RetryAfter:    *retryAfter,
-		Tracer:        tracer,
-		Log:           log,
+		Workers:         *workers,
+		Store:           store,
+		NodeName:        *name,
+		Shard:           *shard,
+		FleetTimeout:    *fleetTimeout,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		MaxJobTimeout:   *maxJobTimeout,
+		DrainTimeout:    *drain,
+		RetryAfter:      *retryAfter,
+		CheckpointEvery: *checkpointEvery,
+		Tracer:          tracer,
+		Log:             log,
 	})
 	eng.Start()
 

@@ -68,6 +68,9 @@ type ExploreStats struct {
 	// actually performed. Sequential-equivalent work is Hits+Misses.
 	PrefixHits   int64
 	PrefixMisses int64
+	// ResumedOrders counts the leading orders whose outcomes were
+	// replayed from an ExploreResume checkpoint instead of routed.
+	ResumedOrders int
 }
 
 // OrderExploration is the outcome of trying several net routing orders.

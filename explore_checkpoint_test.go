@@ -1,0 +1,183 @@
+package sprout_test
+
+// Checkpoint-resume equivalence: a sweep resumed from a durable
+// checkpoint must be bit-identical to the uninterrupted sweep — same
+// winner, same per-order scores and failures, same rail polygons and
+// resistances — while routing strictly fewer rails (the resumed prefix
+// is replayed, not re-routed). Frames round-trip through the real
+// Encode/Decode framing so the test covers what the server persists.
+
+import (
+	"context"
+	"testing"
+
+	"sprout"
+	"sprout/internal/cases"
+)
+
+// threeRailExploreOpt is the shared sweep configuration: three nets, six
+// lexicographic orders, checkpoint every second settled order.
+func threeRailExploreOpt(t *testing.T) (*sprout.Board, sprout.RouteOptions) {
+	t.Helper()
+	cs, err := cases.ThreeRail(cases.Table4()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs.Board, sprout.RouteOptions{
+		Layer:                  cs.RoutingLayer,
+		Budgets:                cs.Budgets,
+		Config:                 cs.Config,
+		ExploreCheckpointEvery: 2,
+	}
+}
+
+// captureCheckpoints runs a sweep whose sink frames every checkpoint
+// through the real encoder, returning the decoded frames in emission
+// order alongside the sweep result.
+func captureCheckpoints(t *testing.T, b *sprout.Board, opt sprout.RouteOptions) (*sprout.OrderExploration, []*sprout.ExploreCheckpoint) {
+	t.Helper()
+	var cks []*sprout.ExploreCheckpoint
+	opt.ExploreCheckpointSink = func(ck *sprout.ExploreCheckpoint) error {
+		frame, err := sprout.EncodeCheckpoint(ck)
+		if err != nil {
+			t.Errorf("sink encode: %v", err)
+			return err
+		}
+		decoded, err := sprout.DecodeCheckpoint(frame)
+		if err != nil {
+			t.Errorf("sink decode: %v", err)
+			return err
+		}
+		cks = append(cks, decoded)
+		return nil
+	}
+	out, err := sprout.ExploreNetOrders(b, opt)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return out, cks
+}
+
+func TestResumeFromCheckpointMatchesFull(t *testing.T) {
+	b, opt := threeRailExploreOpt(t)
+	full, cks := captureCheckpoints(t, b, opt)
+	// Six orders, checkpoint every 2, final emission skipped: 2 and 4.
+	if len(cks) != 2 {
+		t.Fatalf("captured %d checkpoints, want 2", len(cks))
+	}
+	for i, want := range []int{2, 4} {
+		if cks[i].Done != want {
+			t.Fatalf("checkpoint %d settled %d orders, want %d", i, cks[i].Done, want)
+		}
+	}
+	for _, ck := range cks {
+		ck := ck
+		resumeOpt := opt
+		resumeOpt.ExploreResume = ck
+		resumed, err := sprout.ExploreNetOrders(b, resumeOpt)
+		if err != nil {
+			t.Fatalf("resume at %d: %v", ck.Done, err)
+		}
+		sameExploration(t, full, resumed)
+		if resumed.Stats.ResumedOrders != ck.Done {
+			t.Fatalf("resume at %d: ResumedOrders = %d", ck.Done, resumed.Stats.ResumedOrders)
+		}
+		// The replayed prefix must not route: strictly fewer real rail
+		// routes than the uninterrupted sweep performed.
+		if resumed.Stats.PrefixMisses >= full.Stats.PrefixMisses {
+			t.Fatalf("resume at %d routed %d rails, uninterrupted sweep routed %d — no work was saved",
+				ck.Done, resumed.Stats.PrefixMisses, full.Stats.PrefixMisses)
+		}
+	}
+}
+
+func TestResumeFromCheckpointAfterCancel(t *testing.T) {
+	b, opt := threeRailExploreOpt(t)
+	full, _ := captureCheckpoints(t, b, opt)
+
+	// Interrupted sweep: cancel as soon as the first checkpoint lands, as
+	// a crash mid-sweep would. The checkpoint survives; the rest of the
+	// run dies with the context.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *sprout.ExploreCheckpoint
+	interrupted := opt
+	interrupted.ExploreCheckpointSink = func(ck *sprout.ExploreCheckpoint) error {
+		frame, err := sprout.EncodeCheckpoint(ck)
+		if err != nil {
+			return err
+		}
+		if last, err = sprout.DecodeCheckpoint(frame); err != nil {
+			return err
+		}
+		cancel()
+		return nil
+	}
+	if _, err := sprout.ExploreNetOrdersCtx(ctx, b, interrupted); err == nil {
+		t.Fatal("cancelled sweep must return the context error")
+	}
+	if last == nil {
+		t.Fatal("no checkpoint escaped the interrupted sweep")
+	}
+
+	resumeOpt := opt
+	resumeOpt.ExploreResume = last
+	resumed, err := sprout.ExploreNetOrders(b, resumeOpt)
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	sameExploration(t, full, resumed)
+}
+
+func TestResumeFromCheckpointRejectsMismatch(t *testing.T) {
+	b, opt := threeRailExploreOpt(t)
+	_, cks := captureCheckpoints(t, b, opt)
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+
+	// Change a budget: the fingerprint moves, the stale checkpoint must be
+	// rejected, and the sweep must come out identical to a fresh one.
+	changed := opt
+	changed.Budgets = map[sprout.NetID]int64{}
+	for id, v := range opt.Budgets {
+		changed.Budgets[id] = v + 64
+	}
+	fresh, err := sprout.ExploreNetOrders(b, changed)
+	if err != nil {
+		t.Fatalf("fresh sweep: %v", err)
+	}
+	stale := changed
+	stale.ExploreResume = cks[len(cks)-1]
+	resumed, err := sprout.ExploreNetOrders(b, stale)
+	if err != nil {
+		t.Fatalf("sweep with stale checkpoint: %v", err)
+	}
+	if resumed.Stats.ResumedOrders != 0 {
+		t.Fatalf("stale checkpoint resumed %d orders, want rejection", resumed.Stats.ResumedOrders)
+	}
+	sameExploration(t, fresh, resumed)
+}
+
+// TestResumeFromCheckpointSequentialIgnores pins the documented contract:
+// the sequential reference path ignores checkpoint knobs entirely — no
+// emission, no resume — so it stays the plain reference implementation.
+func TestResumeFromCheckpointSequentialIgnores(t *testing.T) {
+	b, opt := threeRailExploreOpt(t)
+	opt.ExploreSequential = true
+	calls := 0
+	opt.ExploreCheckpointSink = func(*sprout.ExploreCheckpoint) error {
+		calls++
+		return nil
+	}
+	out, err := sprout.ExploreNetOrders(b, opt)
+	if err != nil {
+		t.Fatalf("sequential sweep: %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("sequential path emitted %d checkpoints, want 0", calls)
+	}
+	if out.Stats.ResumedOrders != 0 {
+		t.Fatalf("sequential path reported %d resumed orders", out.Stats.ResumedOrders)
+	}
+}

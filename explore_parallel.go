@@ -2,6 +2,8 @@ package sprout
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -279,13 +281,43 @@ func exploreParallel(ctx context.Context, b *board.Board, opt RouteOptions, orde
 	tr.Counter(obs.MExploreOrders).Add(int64(len(orders)))
 	tr.Gauge(obs.MExploreWorkers).Set(int64(workers))
 
-	root := buildPrefixTree(orders, !opt.ExploreNoPrefixCache)
+	// Checkpoint bookkeeping. The fingerprint binds a checkpoint to this
+	// exact problem (board, knobs, enumeration); done is how many leading
+	// orders a resumed checkpoint already settled — the tree below is then
+	// built over the unsettled suffix only, so those orders never route.
+	sink, every := opt.ExploreCheckpointSink, opt.ExploreCheckpointEvery
+	var hash string
+	if sink != nil || opt.ExploreResume != nil {
+		hash = ordersFingerprint(b, opt, orders)
+	}
+	var (
+		ckptLog   []CheckpointOrder
+		bestState *routeState
+		bestIndex = -1
+		done      int
+	)
+	if ck := opt.ExploreResume; ck != nil {
+		restored, rerr := resumeExploration(ctx, run, out, ck, hash, orders, start)
+		if rerr != nil {
+			// A bad checkpoint is never fatal: reject it and sweep fresh.
+			tr.Counter(obs.MExploreCkptRejected).Add(1)
+			*out = OrderExploration{Stats: out.Stats}
+		} else {
+			done = ck.Done
+			ckptLog = append(ckptLog, ck.Settled...)
+			bestState, bestIndex = restored, ck.BestIndex
+			out.Stats.ResumedOrders = done
+			tr.Counter(obs.MExploreCkptOrders).Add(int64(done))
+		}
+	}
+
+	root := buildPrefixTree(orders[done:], !opt.ExploreNoPrefixCache)
 	x := &explorer{
 		run:      run,
 		nets:     nets,
 		sem:      newPrioSem(workers),
-		outcomes: make([]orderOutcome, len(orders)),
-		ready:    make([]chan struct{}, len(orders)),
+		outcomes: make([]orderOutcome, len(orders)-done),
+		ready:    make([]chan struct{}, len(orders)-done),
 	}
 	for i := range x.ready {
 		x.ready[i] = make(chan struct{})
@@ -303,34 +335,65 @@ func exploreParallel(ctx context.Context, b *board.Board, opt RouteOptions, orde
 	// still routing, which keeps the walk's live heap (and GC mark cost)
 	// near the sequential explorer's.
 	var retErr error
-	for i, order := range orders {
-		<-x.ready[i]
-		oc := x.outcomes[i]
-		x.outcomes[i] = orderOutcome{}
+	for i := done; i < len(orders); i++ {
+		order := orders[i]
+		<-x.ready[i-done]
+		oc := x.outcomes[i-done]
+		x.outcomes[i-done] = orderOutcome{}
 		if oc.err != nil {
-			out.Failed = append(out.Failed, orderError(order, oc.err))
+			oe := orderError(order, oc.err)
+			out.Failed = append(out.Failed, oe)
 			if isCtxErr(oc.err) {
+				// Not logged as settled: a resumed run must retry this order.
 				retErr = oc.err
 				break
 			}
-			continue
+			ckptLog = append(ckptLog, CheckpointOrder{
+				Index: i, Failed: true, Err: oe.Err.Error(), Kind: oe.Kind, FailedNet: int(oe.FailedNet),
+			})
+		} else if res, ferr := run.finalize(ctx, oc.state, start); ferr != nil {
+			oe := orderError(order, ferr)
+			out.Failed = append(out.Failed, oe)
+			ckptLog = append(ckptLog, CheckpointOrder{
+				Index: i, Failed: true, Err: oe.Err.Error(), Kind: oe.Kind, FailedNet: int(oe.FailedNet),
+			})
+		} else {
+			out.Tried++
+			score, serr := weightedResistance(b, res)
+			if serr != nil {
+				retErr = serr
+				break
+			}
+			out.Evaluated = append(out.Evaluated, OrderScore{Order: order, Score: score})
+			if out.Best == nil || score < out.BestScore {
+				out.Best = res
+				out.BestScore = score
+				out.BestOrder = order
+				bestState = oc.state
+				bestIndex = i
+			}
+			ckptLog = append(ckptLog, CheckpointOrder{Index: i, Score: score})
 		}
-		res, ferr := run.finalize(ctx, oc.state, start)
-		if ferr != nil {
-			out.Failed = append(out.Failed, orderError(order, ferr))
-			continue
-		}
-		out.Tried++
-		score, serr := weightedResistance(b, res)
-		if serr != nil {
-			retErr = serr
-			break
-		}
-		out.Evaluated = append(out.Evaluated, OrderScore{Order: order, Score: score})
-		if out.Best == nil || score < out.BestScore {
-			out.Best = res
-			out.BestScore = score
-			out.BestOrder = order
+		// Emit a checkpoint of the settled frontier every N orders. Skipped
+		// on the final order — the sweep is about to return its real result.
+		// Sink failures are counted, never fatal.
+		if sink != nil && every > 0 && (i+1)%every == 0 && i+1 < len(orders) {
+			ck := &ExploreCheckpoint{
+				OrdersHash: hash,
+				Orders:     len(orders),
+				Done:       i + 1,
+				Settled:    append([]CheckpointOrder(nil), ckptLog...),
+				BestIndex:  bestIndex,
+				BestScore:  out.BestScore,
+			}
+			if bestIndex >= 0 {
+				ck.Best = encodeRouteState(bestState)
+			}
+			if serr := sink(ck); serr != nil {
+				tr.Counter(obs.MExploreCkptSinkErrs).Add(1)
+			} else {
+				tr.Counter(obs.MExploreCkptSaved).Add(1)
+			}
 		}
 	}
 	x.wg.Wait()
@@ -339,4 +402,56 @@ func exploreParallel(ctx context.Context, b *board.Board, opt RouteOptions, orde
 	tr.Counter(obs.MExplorePrefixHits).Add(out.Stats.PrefixHits)
 	tr.Counter(obs.MExplorePrefixMisses).Add(out.Stats.PrefixMisses)
 	return out, retErr
+}
+
+// resumeExploration seeds out from a checkpoint: the settled outcomes are
+// replayed verbatim (same Failed/Evaluated sequences, same winner, same
+// scores as the run that emitted them) so the continuation is
+// indistinguishable from an uninterrupted sweep. Any mismatch with the
+// current problem — wrong fingerprint, wrong enumeration length, an
+// internally inconsistent frontier, or a best state that cannot finalize —
+// is an error; the caller then discards the checkpoint and sweeps fresh.
+// Returns the restored winning snapshot (nil when every settled order
+// failed).
+func resumeExploration(ctx context.Context, run *boardRun, out *OrderExploration, ck *ExploreCheckpoint, hash string, orders [][]board.NetID, start time.Time) (*routeState, error) {
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	if ck.OrdersHash != hash {
+		return nil, errors.New("sprout: checkpoint fingerprint does not match this exploration")
+	}
+	if ck.Orders != len(orders) {
+		return nil, fmt.Errorf("sprout: checkpoint enumerates %d orders, sweep has %d", ck.Orders, len(orders))
+	}
+	// Restore and finalize the winner first: a snapshot that cannot
+	// finalize must reject the checkpoint before out is touched.
+	var bestState *routeState
+	var best *BoardResult
+	if ck.BestIndex >= 0 {
+		bestState = ck.Best.restore()
+		res, ferr := run.finalize(ctx, bestState, start)
+		if ferr != nil {
+			return nil, fmt.Errorf("sprout: checkpoint best state does not finalize: %w", ferr)
+		}
+		best = res
+	}
+	for _, co := range ck.Settled {
+		if co.Failed {
+			out.Failed = append(out.Failed, OrderError{
+				Order:     orders[co.Index],
+				Err:       errors.New(co.Err),
+				FailedNet: board.NetID(co.FailedNet),
+				Kind:      co.Kind,
+			})
+			continue
+		}
+		out.Tried++
+		out.Evaluated = append(out.Evaluated, OrderScore{Order: orders[co.Index], Score: co.Score})
+	}
+	if best != nil {
+		out.Best = best
+		out.BestScore = ck.BestScore
+		out.BestOrder = orders[ck.BestIndex]
+	}
+	return bestState, nil
 }

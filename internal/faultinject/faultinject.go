@@ -52,6 +52,16 @@ const (
 	// reporting success — the crash-mid-write shape recovery must
 	// truncate, never trip over.
 	SiteWALCorrupt = "server.wal.corrupt"
+	// SiteDirSync fires once per data-directory fsync (after the snapshot
+	// rename); a non-nil fire fails the directory durability barrier.
+	SiteDirSync = "server.dir.sync"
+	// SiteCkptWrite fires once per exploration-checkpoint persist, before
+	// the WAL append; a non-nil fire fails the checkpoint write.
+	SiteCkptWrite = "server.ckpt.write"
+	// SiteCkptDecode fires once per exploration-checkpoint decode, before
+	// the frame is parsed; a non-nil fire fails the decode (the recovered
+	// job then restarts its sweep from scratch).
+	SiteCkptDecode = "sprout.ckpt.decode"
 )
 
 // registry is the canonical site table: every check point the production
@@ -68,6 +78,9 @@ var registry = map[string]string{
 	SiteWALWrite:   "server: WAL record write, before bytes reach the file",
 	SiteWALSync:    "server: WAL fsync, before the durability barrier flush",
 	SiteWALCorrupt: "server: WAL append tears the record while reporting success",
+	SiteDirSync:    "server: data-directory fsync after the snapshot rename",
+	SiteCkptWrite:  "server: exploration-checkpoint persist, before the WAL append",
+	SiteCkptDecode: "sprout: exploration-checkpoint decode, before parsing the frame",
 }
 
 // Sites returns the canonical site names in sorted order.

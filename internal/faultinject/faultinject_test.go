@@ -188,9 +188,15 @@ func TestLatencyProbabilisticIsDeterministic(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	// Sorted: extract.extract, route.grow, route.refine, then the three
-	// server.wal.* disk-fault sites, then sparse.cg.
-	want := []string{SiteExtract, SiteGrow, SiteRefine, SiteWALCorrupt, SiteWALSync, SiteWALWrite, SiteCG}
+	// Sorted: extract.extract, route.grow, route.refine, the server.*
+	// durability sites (checkpoint write, directory fsync, three WAL
+	// disk-fault sites), sparse.cg, then the checkpoint decode site.
+	want := []string{
+		SiteExtract, SiteGrow, SiteRefine,
+		SiteCkptWrite, SiteDirSync,
+		SiteWALCorrupt, SiteWALSync, SiteWALWrite,
+		SiteCG, SiteCkptDecode,
+	}
 	got := Sites()
 	if len(got) != len(want) {
 		t.Fatalf("Sites() = %v, want %v", got, want)

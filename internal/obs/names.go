@@ -118,6 +118,20 @@ const (
 	MClientSubmitBackoffMS  = "client.submit.backoff_ms"
 	MClientRetryAfterUsed   = "client.submit.retry_after_honored"
 	MClientTransportRetries = "client.submit.transport_retries"
+
+	// Self-healing execution (PR 9): attempt budgets, poison quarantine
+	// and durable exploration checkpoints.
+	MJobsQuarantined     = "server.jobs.quarantined"
+	MJobsRequeued        = "server.jobs.requeued"
+	MJobAttempts         = "server.job.attempts"
+	MCkptResumes         = "server.ckpt.resumes"
+	MCkptDecodeFailures  = "server.ckpt.decode_failures"
+	MWALCkptWrites       = "wal.checkpoint.writes"
+	MWALCkptWriteErrors  = "wal.checkpoint.write_errors"
+	MExploreCkptSaved    = "explore.ckpt.saved"
+	MExploreCkptSinkErrs = "explore.ckpt.sink_errors"
+	MExploreCkptOrders   = "explore.ckpt.resumed_orders"
+	MExploreCkptRejected = "explore.ckpt.rejected"
 )
 
 // countBuckets are the original power-of-four bounds: they cover CG
@@ -218,6 +232,18 @@ func init() {
 		MetricDef{Name: MClientSubmitBackoffMS, Kind: KindHistogram, Help: "Client backoff sleeps in milliseconds.", Buckets: latencyBucketsMS},
 		MetricDef{Name: MClientRetryAfterUsed, Kind: KindCounter, Help: "Backoff sleeps that honored a server Retry-After hint."},
 		MetricDef{Name: MClientTransportRetries, Kind: KindCounter, Help: "Submit attempts retried after a transport-level failure."},
+
+		MetricDef{Name: MJobsQuarantined, Kind: KindCounter, Help: "Jobs quarantined after exhausting their attempt budget."},
+		MetricDef{Name: MJobsRequeued, Kind: KindCounter, Help: "Quarantined jobs revived by an operator requeue."},
+		MetricDef{Name: MJobAttempts, Kind: KindHistogram, Help: "Start attempts used per finished job.", Buckets: attemptBuckets},
+		MetricDef{Name: MCkptResumes, Kind: KindCounter, Help: "Jobs resumed from a durable exploration checkpoint."},
+		MetricDef{Name: MCkptDecodeFailures, Kind: KindCounter, Help: "Stored exploration checkpoints that failed to decode (job restarted from scratch)."},
+		MetricDef{Name: MWALCkptWrites, Kind: KindCounter, Help: "Exploration checkpoints persisted to the WAL."},
+		MetricDef{Name: MWALCkptWriteErrors, Kind: KindCounter, Help: "Exploration-checkpoint persists that failed (sweep continues unchecked)."},
+		MetricDef{Name: MExploreCkptSaved, Kind: KindCounter, Help: "Checkpoints emitted by the explorer's reducer."},
+		MetricDef{Name: MExploreCkptSinkErrs, Kind: KindCounter, Help: "Checkpoint sink invocations that returned an error (non-fatal)."},
+		MetricDef{Name: MExploreCkptOrders, Kind: KindCounter, Help: "Net orders skipped by resuming from a checkpoint."},
+		MetricDef{Name: MExploreCkptRejected, Kind: KindCounter, Help: "Resume checkpoints rejected as stale or inconsistent."},
 	)
 }
 

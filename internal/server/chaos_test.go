@@ -27,12 +27,19 @@ import (
 // it as the JSON document the HTTP API accepts.
 func encodeBoardDoc(t testing.TB) []byte {
 	t.Helper()
+	return namedBoardDoc(t, "chaos2")
+}
+
+// namedBoardDoc is encodeBoardDoc with a caller-chosen board name, so
+// chaos scripts can tell one submission's board apart from another's.
+func namedBoardDoc(t testing.TB, name string) []byte {
+	t.Helper()
 	stack := board.Stackup{Layers: []board.Layer{
 		{Name: "L1", CopperUM: 35, DielectricBelowUM: 100},
 		{Name: "L2", CopperUM: 35, IsPlane: true},
 	}}
 	rules := board.DesignRules{Clearance: 2, TileDX: 5, TileDY: 5, ViaCost: 5}
-	b, err := board.New("chaos2", geom.R(0, 0, 200, 100), stack, rules)
+	b, err := board.New(name, geom.R(0, 0, 200, 100), stack, rules)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,6 +86,27 @@ func (e *JobFailedError) Unwrap() error {
 	return nil
 }
 
+// JobQuarantinedError is the client-side view of a quarantined job: the
+// server parked it after it exhausted its attempt budget, so polling is
+// pointless — only an operator Requeue revives it. It unwraps to an
+// error carrying the stored failure text, so errors.Is/As chains over
+// the preserved diagnostics keep working.
+type JobQuarantinedError struct {
+	Status Status
+}
+
+func (e *JobQuarantinedError) Error() string {
+	return fmt.Sprintf("job %s quarantined after %d attempts: %s", e.Status.ID, e.Status.Attempts, e.Status.Error)
+}
+
+// Unwrap exposes the stored failure as an opaque error value.
+func (e *JobQuarantinedError) Unwrap() error {
+	if e.Status.Error == "" {
+		return nil
+	}
+	return errors.New(e.Status.Error)
+}
+
 // Submit posts a board document (boardio JSON schema). Overload and
 // drain rejections are retried up to MaxAttempts with backoff; the
 // idempotency key makes those retries safe — a submission that actually
@@ -310,6 +331,11 @@ func (c *Client) Result(ctx context.Context, id string) (rep *obs.RunReport, don
 				return httpError(code, body)
 			}
 			done = true
+			if st.State == StateQuarantined || st.ErrorKind == KindPoisoned {
+				// Quarantine is terminal-until-requeued: stop polling now
+				// instead of spinning until the caller's deadline.
+				return &JobQuarantinedError{Status: st}
+			}
 			return &JobFailedError{Status: st}
 		}
 	})
@@ -336,6 +362,45 @@ func (c *Client) WaitResult(ctx context.Context, id string, poll time.Duration) 
 		case <-t.C:
 		}
 	}
+}
+
+// ListJobs fetches status snapshots, optionally filtered by state
+// ("" = all). ListJobs(ctx, StateQuarantined) is the operator's
+// quarantine listing.
+func (c *Client) ListJobs(ctx context.Context, state JobState) ([]Status, error) {
+	path := "/v1/jobs"
+	if state != "" {
+		path += "?state=" + string(state)
+	}
+	var list JobList
+	err := c.getJSON(ctx, path, func(code int, body io.Reader) error {
+		if code != http.StatusOK {
+			return httpError(code, body)
+		}
+		return json.NewDecoder(body).Decode(&list)
+	})
+	return list.Jobs, err
+}
+
+// Requeue revives a quarantined job and returns its refreshed status.
+func (c *Client) Requeue(ctx context.Context, id string) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs/"+id+"/requeue", nil)
+	if err != nil {
+		return Status{}, fmt.Errorf("client: build request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Status{}, fmt.Errorf("client: requeue %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, httpError(resp.StatusCode, resp.Body)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("client: decode requeue response: %w", err)
+	}
+	return st, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, handle func(code int, body io.Reader) error) error {

@@ -22,7 +22,9 @@ const maxBodyBytes = 8 << 20
 // Handler returns the sproutd HTTP API:
 //
 //	POST /v1/jobs                  submit a board document (boardio schema)
+//	GET  /v1/jobs                  list jobs (?state= filters, e.g. quarantined)
 //	GET  /v1/jobs/{id}             poll job status
+//	POST /v1/jobs/{id}/requeue     revive a quarantined job
 //	GET  /v1/jobs/{id}/result      fetch the run report of a terminal job
 //	GET  /v1/jobs/{id}/trace       fetch the job's stitched Chrome trace
 //	GET  /v1/jobs/{id}/traceparts  raw trace parts known to this replica
@@ -37,7 +39,9 @@ const maxBodyBytes = 8 << 20
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", e.instrument("submit", e.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", e.instrument("list", e.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", e.instrument("status", e.handleStatus))
+	mux.HandleFunc("POST /v1/jobs/{id}/requeue", e.instrument("requeue", e.handleRequeue))
 	mux.HandleFunc("GET /v1/jobs/{id}/result", e.instrument("result", e.handleResult))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", e.instrument("trace", e.handleTrace))
 	mux.HandleFunc("GET /v1/jobs/{id}/traceparts", e.instrument("traceparts", e.handleTraceParts))
@@ -128,6 +132,10 @@ func statusFor(kind ErrKind) int {
 		return http.StatusServiceUnavailable
 	case KindDeadline:
 		return http.StatusGatewayTimeout
+	case KindPoisoned:
+		// Quarantined: the document itself keeps killing the worker, so
+		// retrying as-is is futile — an operator requeue is the retry.
+		return http.StatusUnprocessableEntity
 	default: // panic, solve, internal
 		return http.StatusInternalServerError
 	}
@@ -191,6 +199,51 @@ func (e *Engine) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// JobList is the GET /v1/jobs document.
+type JobList struct {
+	Jobs []Status `json:"jobs"`
+}
+
+// handleList serves job status snapshots, optionally filtered by state
+// (?state=quarantined is the operator's quarantine listing). In a
+// sharded deployment this lists the local replica only.
+func (e *Engine) handleList(w http.ResponseWriter, r *http.Request) {
+	state := JobState(r.URL.Query().Get("state"))
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateQuarantined:
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", state))
+		return
+	}
+	jobs := e.List(state)
+	if jobs == nil {
+		jobs = []Status{}
+	}
+	writeJSON(w, http.StatusOK, JobList{Jobs: jobs})
+}
+
+// handleRequeue revives a quarantined job. 404 unknown id, 409 when the
+// job is not quarantined, 429/503 when admission has no room; 200 with
+// the refreshed status on success.
+func (e *Engine) handleRequeue(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, known, err := e.Requeue(id)
+	switch {
+	case !known:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	case errors.Is(err, ErrNotQuarantined):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, sprout.ErrOverloaded):
+		e.writeRetryable(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, sprout.ErrShuttingDown):
+		e.writeRetryable(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
 func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
 	st, rep, _, ok := e.Result(r.PathValue("id"))
 	switch {
@@ -199,6 +252,10 @@ func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
 	case !st.State.Terminal():
 		// Not ready yet: 202 tells the client to keep polling.
 		writeJSON(w, http.StatusAccepted, st)
+	case st.State == StateQuarantined:
+		// Quarantined jobs have no report and will not progress on their
+		// own; 422 tells the client to stop polling and escalate.
+		writeJSON(w, statusFor(KindPoisoned), st)
 	case st.State == StateFailed:
 		writeJSON(w, statusFor(st.ErrorKind), st)
 	case rep == nil:

@@ -15,6 +15,7 @@ import (
 
 	"sprout"
 	"sprout/internal/boardio"
+	"sprout/internal/faultinject"
 	"sprout/internal/obs"
 )
 
@@ -37,15 +38,27 @@ type StoreOptions struct {
 	// SnapshotEvery is the number of WAL appends between snapshot +
 	// log-compaction passes (default 4096).
 	SnapshotEvery int
+	// MaxAttempts is the per-job start budget: recovery quarantines a
+	// non-terminal job whose durable attempt count has reached it, instead
+	// of re-enqueueing a board that keeps taking the process down. 0
+	// selects the default of 3; negative disables quarantine entirely.
+	MaxAttempts int
 	// Tracer receives the wal.* counters (optional).
 	Tracer *obs.Tracer
 	// Log receives recovery and compaction events (optional).
 	Log *slog.Logger
 }
 
+// DefaultMaxAttempts is the start budget applied when StoreOptions (or
+// the -max-attempts flag) leaves MaxAttempts at zero.
+const DefaultMaxAttempts = 3
+
 func (o StoreOptions) normalize() StoreOptions {
 	if o.SnapshotEvery <= 0 {
 		o.SnapshotEvery = 4096
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = DefaultMaxAttempts
 	}
 	if o.Log == nil {
 		o.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -64,6 +77,8 @@ type jobSnap struct {
 	Kind        ErrKind             `json:"kind,omitempty"`
 	Report      json.RawMessage     `json:"report,omitempty"`
 	Exploration *ExplorationSummary `json:"exploration,omitempty"`
+	Attempts    int                 `json:"attempts,omitempty"`
+	Checkpoint  []byte              `json:"checkpoint,omitempty"`
 }
 
 // storeSnap is the snapshot file: the id counter plus every job row.
@@ -172,11 +187,25 @@ func (p *PersistentStore) recover() error {
 		p.applyWALRecord(rec)
 	}
 
-	// Everything accepted but not terminal re-queues, in acceptance order.
+	// Everything accepted but not terminal re-queues, in acceptance order —
+	// unless its durable start count already exhausted the attempt budget,
+	// in which case the board has demonstrably taken the process down
+	// MaxAttempts times and re-running it would crash-loop the replica.
+	// Those jobs go to quarantine with their attempt history preserved;
+	// only an operator requeue revives them.
 	p.mem.mu.Lock()
 	var recovered []*Job
+	var quarantined int
 	for _, j := range p.mem.jobs {
 		if j.state.Terminal() {
+			continue
+		}
+		if p.opts.MaxAttempts > 0 && j.attempts >= p.opts.MaxAttempts {
+			p.mem.quarantineLocked(j, fmt.Sprintf(
+				"server: quarantined after %d attempts without reaching a terminal state", j.attempts), time.Now())
+			quarantined++
+			p.opts.Log.Warn("job quarantined as poisonous",
+				"job", j.id, "board", j.board, "attempts", j.attempts)
 			continue
 		}
 		j.state = StateQueued
@@ -191,9 +220,11 @@ func (p *PersistentStore) recover() error {
 	})
 	p.recovered = recovered
 	p.opts.Tracer.Counter(obs.MWALRecoveredJobs).Add(int64(len(recovered)))
-	if len(recs) > 0 || len(recovered) > 0 {
+	p.opts.Tracer.Counter(obs.MJobsQuarantined).Add(int64(quarantined))
+	if len(recs) > 0 || len(recovered) > 0 || quarantined > 0 {
 		p.opts.Log.Info("store recovered",
-			"jobs", len(p.mem.jobs), "wal_records", len(recs), "requeued", len(recovered))
+			"jobs", len(p.mem.jobs), "wal_records", len(recs),
+			"requeued", len(recovered), "quarantined", quarantined)
 	}
 	return nil
 }
@@ -215,8 +246,17 @@ func (p *PersistentStore) applySnapRow(row *jobSnap) {
 	j.started = row.Started
 	j.finished = row.Finished
 	j.exploration = row.Exploration
-	if row.State.Terminal() {
+	j.attempts = row.Attempts
+	j.checkpoint = row.Checkpoint
+	switch {
+	case row.State == StateQuarantined:
+		// Quarantined rows keep their decoded document (a requeue re-runs
+		// them) but carry the preserved diagnostics.
+		j.err = errors.New(row.Err)
+		j.kind = row.Kind
+	case row.State.Terminal():
 		j.doc, j.raw = nil, nil
+		j.checkpoint = nil
 		if row.State == StateFailed {
 			j.err = errors.New(row.Err)
 			j.kind = row.Kind
@@ -229,6 +269,12 @@ func (p *PersistentStore) applySnapRow(row *jobSnap) {
 		}
 	}
 	p.insertRecoveredLocked(j)
+	// Failed and quarantined jobs must not absorb equivalent
+	// resubmissions: undo the content registration insertLocked made.
+	if (row.State == StateFailed || row.State == StateQuarantined) &&
+		j.hash != "" && p.mem.byHash[j.hash] == j.id {
+		delete(p.mem.byHash, j.hash)
+	}
 }
 
 // applyWALRecord replays one log record onto the table, idempotently.
@@ -242,9 +288,37 @@ func (p *PersistentStore) applyWALRecord(rec *walRecord) {
 		}
 		p.insertRecoveredLocked(p.jobFromAccept(rec))
 	case walRun:
+		// Legacy start record (pre-attempt-budget logs): each one is one
+		// worker start.
 		if j := p.mem.jobs[rec.ID]; j != nil && !j.state.Terminal() {
 			j.state = StateRunning
 			j.started = rec.TS
+			j.attempts++
+		}
+	case walAttempt:
+		// Attempt records carry the absolute start count, so replaying a
+		// record the snapshot already folded in is a no-op (max, not ++).
+		if j := p.mem.jobs[rec.ID]; j != nil && !j.state.Terminal() {
+			j.state = StateRunning
+			j.started = rec.TS
+			if rec.Attempt > j.attempts {
+				j.attempts = rec.Attempt
+			}
+		}
+	case walCheckpoint:
+		if j := p.mem.jobs[rec.ID]; j != nil && !j.state.Terminal() && len(rec.Ckpt) > 0 {
+			j.checkpoint = rec.Ckpt
+		}
+	case walQuarantine:
+		if j := p.mem.jobs[rec.ID]; j != nil && !j.state.Terminal() {
+			p.mem.quarantineLocked(j, rec.Err, rec.TS)
+			if rec.Attempt > j.attempts {
+				j.attempts = rec.Attempt
+			}
+		}
+	case walRequeue:
+		if j := p.mem.jobs[rec.ID]; j != nil && j.state == StateQuarantined {
+			_ = p.mem.requeueLocked(j, rec.TS)
 		}
 	case walFinish:
 		j := p.mem.jobs[rec.ID]
@@ -412,6 +486,13 @@ func (p *PersistentStore) compactLocked() error {
 	if err := os.Rename(tmp, filepath.Join(p.dir, snapFileName)); err != nil {
 		return fmt.Errorf("server: snapshot rename: %w", err)
 	}
+	// The rename is only durable once the directory entry itself is on
+	// disk: without this fsync a power loss can leave the directory
+	// pointing at the old snapshot while the WAL below gets truncated —
+	// silently losing every job the new snapshot folded in.
+	if err := syncDir(p.dir); err != nil {
+		return fmt.Errorf("server: snapshot dir fsync: %w", err)
+	}
 	if err := p.wal.reset(); err != nil {
 		return err
 	}
@@ -436,6 +517,8 @@ func (p *PersistentStore) snapshotRows() *storeSnap {
 			Started:     j.started,
 			Finished:    j.finished,
 			Exploration: j.exploration,
+			Attempts:    j.attempts,
+			Checkpoint:  j.checkpoint,
 		}
 		if j.err != nil {
 			row.Err = j.err.Error()
@@ -483,15 +566,20 @@ func (p *PersistentStore) Drop(j *Job) {
 	}
 }
 
-// SetRunning forwards to the table and logs the transition (unsynced:
-// a lost run record only costs recovery the queue/run split).
+// SetRunning forwards to the table and makes the start durable as an
+// attempt record, fsynced (unless NoSync) before the worker touches the
+// board: the attempt budget only works if a start that SIGKILLs the
+// process a microsecond later is still counted at the next recovery. A
+// failed append is logged, not fatal — an undercounted attempt grants a
+// poison job one extra try, it never loses a job.
 func (p *PersistentStore) SetRunning(j *Job, tracer *obs.Tracer, now time.Time) (*boardio.Decoded, sprout.RouteOptions, bool, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	doc, opt, explore, ok := p.mem.SetRunning(j, tracer, now)
 	if ok {
-		if err := p.appendLocked(&walRecord{T: walRun, ID: j.id, TS: now}, false); err != nil {
-			p.opts.Log.Warn("wal run record failed", "job", j.id, "err", err)
+		rec := &walRecord{T: walAttempt, ID: j.id, TS: now, Attempt: j.attempts}
+		if err := p.appendLocked(rec, !p.opts.NoSync); err != nil {
+			p.opts.Log.Warn("wal attempt record failed", "job", j.id, "err", err)
 		}
 	}
 	return doc, opt, explore, ok
@@ -533,6 +621,88 @@ func (p *PersistentStore) Get(id string) *Job                          { return 
 func (p *PersistentStore) NonTerminal() []*Job                         { return p.mem.NonTerminal() }
 func (p *PersistentStore) Status(j *Job) Status                        { return p.mem.Status(j) }
 func (p *PersistentStore) Result(j *Job) (*obs.RunReport, *obs.Tracer) { return p.mem.Result(j) }
+func (p *PersistentStore) List(state JobState) []Status                { return p.mem.List(state) }
+func (p *PersistentStore) Quarantined() []*Job                         { return p.mem.Quarantined() }
+func (p *PersistentStore) Checkpoint(j *Job) []byte                    { return p.mem.Checkpoint(j) }
+
+// Quarantine force-transitions a non-terminal job into quarantine and
+// logs it durably (fsynced unless NoSync — quarantine is a promise the
+// job will not run again without an operator, so it must hold across a
+// crash).
+func (p *PersistentStore) Quarantine(j *Job, reason string, now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.mem.Quarantine(j, reason, now) {
+		return false
+	}
+	rec := &walRecord{T: walQuarantine, ID: j.id, TS: now, Err: reason, Kind: KindPoisoned, Attempt: j.attempts}
+	if err := p.appendLocked(rec, !p.opts.NoSync); err != nil {
+		p.opts.Log.Warn("wal quarantine record failed", "job", j.id, "err", err)
+	}
+	p.opts.Tracer.Counter(obs.MJobsQuarantined).Add(1)
+	return true
+}
+
+// Requeue revives a quarantined job. The requeue record is fsynced
+// (unless NoSync) before the caller may enqueue the job: a revival the
+// disk never saw would re-quarantine the job at the next recovery while
+// a worker is already rerunning it. A WAL failure unwinds the in-memory
+// transition so table and log stay consistent.
+func (p *PersistentStore) Requeue(j *Job, now time.Time) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.mem.Requeue(j, now); err != nil {
+		return err
+	}
+	if aerr := p.appendLocked(&walRecord{T: walRequeue, ID: j.id, TS: now}, !p.opts.NoSync); aerr != nil {
+		p.mem.Quarantine(j, "server: requeue not durable: "+aerr.Error(), now)
+		return fmt.Errorf("server: persist requeue: %w", aerr)
+	}
+	return nil
+}
+
+// SaveCheckpoint durably records the job's latest exploration checkpoint
+// (fsynced unless NoSync — a checkpoint that vanishes in the crash it
+// exists to survive is dead weight). Errors are returned, not fatal: the
+// sweep continues and simply loses resume coverage for this interval.
+func (p *PersistentStore) SaveCheckpoint(j *Job, frame []byte) error {
+	if ferr := faultinject.Check(faultinject.SiteCkptWrite); ferr != nil {
+		p.opts.Tracer.Counter(obs.MWALCkptWriteErrors).Add(1)
+		return fmt.Errorf("server: checkpoint write: %w", ferr)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mem.Status(j).State.Terminal() {
+		return nil
+	}
+	if err := p.mem.SaveCheckpoint(j, frame); err != nil {
+		return err
+	}
+	rec := &walRecord{T: walCheckpoint, ID: j.id, TS: time.Now(), Ckpt: frame}
+	if err := p.appendLocked(rec, !p.opts.NoSync); err != nil {
+		p.opts.Tracer.Counter(obs.MWALCkptWriteErrors).Add(1)
+		return fmt.Errorf("server: persist checkpoint: %w", err)
+	}
+	p.opts.Tracer.Counter(obs.MWALCkptWrites).Add(1)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file inside it survives
+// power loss.
+func syncDir(dir string) error {
+	if ferr := faultinject.Check(faultinject.SiteDirSync); ferr != nil {
+		return fmt.Errorf("server: sync dir: %w", ferr)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("server: open dir for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("server: sync dir: %w", err)
+	}
+	return d.Close()
+}
 
 // Recovered returns the jobs found accepted but unfinished at open, in
 // acceptance order.

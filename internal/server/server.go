@@ -62,6 +62,11 @@ type Config struct {
 	DrainTimeout time.Duration
 	// RetryAfter is the backoff hint attached to 429/503 rejections.
 	RetryAfter time.Duration
+	// CheckpointEvery persists an exploration job's frontier to the store
+	// after every N settled orders, so a crashed (or later requeued) job
+	// resumes mid-sweep instead of restarting. 0 selects the default (8);
+	// negative disables checkpointing.
+	CheckpointEvery int
 	// Tracer receives the server-wide counters and histograms backing
 	// /metrics (optional; nil disables).
 	Tracer *obs.Tracer
@@ -91,6 +96,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.FleetTimeout <= 0 {
 		c.FleetTimeout = 2 * time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 8
 	}
 	if c.Shard == "" {
 		c.Shard = c.NodeName
@@ -167,8 +175,10 @@ func New(cfg Config) *Engine {
 		recovered: recovered,
 		// The queue must absorb every recovered job on top of the normal
 		// admission depth, or a crash with a deep backlog would deadlock
-		// its own restart.
-		queue:    make(chan *Job, cfg.QueueDepth+len(recovered)),
+		// its own restart. Quarantined jobs get headroom too, so an
+		// operator requeueing the whole quarantine never hits a full queue
+		// that recovery itself created.
+		queue:    make(chan *Job, cfg.QueueDepth+len(recovered)+len(st.Quarantined())),
 		draining: make(chan struct{}),
 		runCtx:   ctx,
 		stopRun:  cancel,
@@ -337,6 +347,44 @@ func (e *Engine) Result(id string) (Status, *obs.RunReport, *obs.Tracer, bool) {
 	return e.store.Status(j), rep, tr, true
 }
 
+// List returns status snapshots of every job in the given state, in
+// acceptance order ("" = all jobs) — the GET /v1/jobs surface.
+func (e *Engine) List(state JobState) []Status {
+	return e.store.List(state)
+}
+
+// Requeue revives a quarantined job: its attempt budget resets, its
+// diagnostics clear, and it re-enters the admission queue — keeping any
+// exploration checkpoint, so the revived job resumes mid-sweep. The bool
+// is false when the job is unknown. Typed rejections: ErrNotQuarantined
+// for jobs in any other state (409), sprout.ErrShuttingDown while
+// draining, sprout.ErrOverloaded when the queue is full (the job is
+// re-quarantined rather than lost).
+func (e *Engine) Requeue(id string) (Status, bool, error) {
+	if !e.accepting.Load() {
+		return Status{}, true, sprout.ErrShuttingDown
+	}
+	j := e.store.Get(id)
+	if j == nil {
+		return Status{}, false, nil
+	}
+	if err := e.store.Requeue(j, time.Now()); err != nil {
+		return Status{}, true, err
+	}
+	select {
+	case e.queue <- j:
+		e.count(obs.MJobsRequeued, 1)
+		e.cfg.Log.Info("job requeued from quarantine", "job", j.id, "board", j.board)
+		return e.store.Status(j), true, nil
+	default:
+		// No queue slot: park the job back in quarantine so it stays
+		// revivable instead of sitting queued-but-unreachable.
+		e.store.Quarantine(j, "server: requeue rejected, admission queue full", time.Now())
+		e.count(obs.MJobsRejectedOverloaded, 1)
+		return Status{}, true, sprout.ErrOverloaded
+	}
+}
+
 // worker pulls jobs until shutdown; once draining begins it keeps
 // pulling until the queue is empty, then exits.
 func (e *Engine) worker() {
@@ -391,7 +439,7 @@ func (e *Engine) runJob(j *Job) {
 	var err error
 	if explore {
 		var ex *sprout.OrderExploration
-		ex, err = e.exploreContained(ctx, doc, opt)
+		ex, err = e.exploreContained(ctx, doc, e.wireCheckpoints(j, opt))
 		if ex != nil {
 			e.store.NoteExploration(j, ex)
 			e.count(obs.MServerExploreOrders, int64(ex.Stats.Orders))
@@ -425,6 +473,7 @@ func (e *Engine) runJob(j *Job) {
 	}
 	e.observe(obs.MJobQueueWaitMS, float64(queueWait.Nanoseconds())/1e6)
 	e.observe(obs.MJobRunMS, float64(dur.Nanoseconds())/1e6)
+	e.observe(obs.MJobAttempts, float64(e.store.Status(j).Attempts))
 	if err != nil {
 		e.count(obs.MJobsFailed, 1)
 		e.count(obs.MJobsFailedPrefix+string(classify(err)), 1)
@@ -433,6 +482,38 @@ func (e *Engine) runJob(j *Job) {
 		e.count(obs.MJobsDone, 1)
 		e.cfg.Log.Info("job done", "job", j.id, "board", j.board, "run_ms", dur.Milliseconds())
 	}
+}
+
+// wireCheckpoints arms an exploration job's options with durable
+// checkpointing: any stored frame from a previous attempt is decoded into
+// ExploreResume (a frame that fails to decode is dropped and the sweep
+// restarts — a checkpoint is an optimization, never a correctness
+// dependency), and the sink persists each new frame through the store's
+// WAL so the next attempt finds it.
+func (e *Engine) wireCheckpoints(j *Job, opt sprout.RouteOptions) sprout.RouteOptions {
+	if frame := e.store.Checkpoint(j); len(frame) > 0 {
+		ck, err := sprout.DecodeCheckpoint(frame)
+		if err != nil {
+			e.count(obs.MCkptDecodeFailures, 1)
+			e.cfg.Log.Warn("stored checkpoint rejected, exploring from scratch", "job", j.id, "err", err)
+		} else {
+			opt.ExploreResume = ck
+			e.count(obs.MCkptResumes, 1)
+			e.cfg.Log.Info("resuming exploration from checkpoint",
+				"job", j.id, "done", ck.Done, "orders", ck.Orders)
+		}
+	}
+	if e.cfg.CheckpointEvery > 0 {
+		opt.ExploreCheckpointEvery = e.cfg.CheckpointEvery
+		opt.ExploreCheckpointSink = func(ck *sprout.ExploreCheckpoint) error {
+			frame, err := sprout.EncodeCheckpoint(ck)
+			if err != nil {
+				return err
+			}
+			return e.store.SaveCheckpoint(j, frame)
+		}
+	}
+	return opt
 }
 
 // routeContained invokes the route function with panic containment. The

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,12 +28,20 @@ const (
 	StateDone JobState = "done"
 	// StateFailed: terminal, the job ended with a typed error.
 	StateFailed JobState = "failed"
+	// StateQuarantined: terminal, the job exhausted its attempt budget
+	// without ever finishing — the crash-loop shape. Quarantined jobs keep
+	// their document so an operator requeue can revive them, but nothing
+	// runs them until that happens.
+	StateQuarantined JobState = "quarantined"
 )
 
 // Terminal reports whether the state is final. Every accepted job must
 // reach a terminal state — that is the server's zero-loss invariant,
-// asserted by the chaos test.
-func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+// asserted by the chaos test. Quarantine counts as terminal: the job
+// will not progress on its own, only an explicit requeue revives it.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateQuarantined
+}
 
 // ErrKind classifies a job failure for the HTTP layer; the mapping to
 // client-visible status codes is the DESIGN "Failure semantics" matrix.
@@ -50,7 +59,15 @@ const (
 	KindSolve ErrKind = "solve"
 	// KindInternal: any other routing failure (500).
 	KindInternal ErrKind = "internal"
+	// KindPoisoned: the job was quarantined after exhausting its attempt
+	// budget — it kept taking the process down without reaching a terminal
+	// state (422).
+	KindPoisoned ErrKind = "poisoned"
 )
+
+// ErrNotQuarantined rejects a requeue of a job that is not quarantined
+// (409): only jobs parked by the poison-quarantine sweep can be revived.
+var ErrNotQuarantined = errors.New("server: only quarantined jobs can be requeued")
 
 // classify maps a job error to its ErrKind. Order matters: shutdown and
 // deadline are checked before the generic unwrap chains.
@@ -108,6 +125,15 @@ type Job struct {
 	exploration *ExplorationSummary
 	// timeout is the per-job deadline.
 	timeout time.Duration
+	// attempts counts how many times a worker started this job. The
+	// persistent store makes each start durable before the board is
+	// touched, so recovery can quarantine a job that keeps killing the
+	// process instead of re-enqueueing it forever.
+	attempts int
+	// checkpoint is the job's latest durable exploration checkpoint (an
+	// opaque frame decoded by the sprout package), nil for plain routing
+	// jobs and cleared once the job is terminal via Finish.
+	checkpoint []byte
 	// trace is the distributed-trace position propagated with the
 	// submission (zero when the submitter carried no X-Sprout-Trace);
 	// the worker's tracer continues it. Immutable after Create.
@@ -151,9 +177,11 @@ type Status struct {
 	// Deduped marks a submission that was answered from an existing job,
 	// via its idempotency key or its canonical content hash.
 	Deduped bool `json:"deduped,omitempty"`
-	// Error and ErrorKind are set on failed jobs.
+	// Error and ErrorKind are set on failed and quarantined jobs.
 	Error     string  `json:"error,omitempty"`
 	ErrorKind ErrKind `json:"error_kind,omitempty"`
+	// Attempts counts worker starts (1 for a job that ran once).
+	Attempts int `json:"attempts,omitempty"`
 	// Durations in milliseconds (0 until the phase completes).
 	QueueMS float64 `json:"queue_ms,omitempty"`
 	RunMS   float64 `json:"run_ms,omitempty"`
@@ -231,6 +259,24 @@ type JobStore interface {
 	// in original acceptance order; the engine re-enqueues them on Start.
 	// Empty for the in-memory store.
 	Recovered() []*Job
+	// List snapshots every job in the given state (all jobs when state is
+	// empty), in acceptance order.
+	List(state JobState) []Status
+	// Quarantined returns the jobs currently in quarantine, in acceptance
+	// order. The engine sizes its queue so each has a requeue slot.
+	Quarantined() []*Job
+	// Quarantine force-transitions a non-terminal job into quarantine with
+	// the given diagnostic; false when the job was already terminal.
+	Quarantine(j *Job, reason string, now time.Time) bool
+	// Requeue revives a quarantined job: back to queued with a fresh
+	// attempt budget. Fails when the job is not quarantined or when the
+	// transition could not be made durable.
+	Requeue(j *Job, now time.Time) error
+	// SaveCheckpoint durably records the job's latest exploration
+	// checkpoint; Checkpoint returns the stored frame (nil when none).
+	// Both are no-ops once the job is terminal.
+	SaveCheckpoint(j *Job, frame []byte) error
+	Checkpoint(j *Job) []byte
 	// Close releases store resources (fsyncs and closes the WAL). The
 	// in-memory store's Close is a no-op.
 	Close() error
@@ -364,6 +410,7 @@ func (s *memStore) SetRunning(j *Job, tracer *obs.Tracer, now time.Time) (doc *b
 	}
 	j.state = StateRunning
 	j.started = now
+	j.attempts++
 	j.tracer = tracer
 	return j.doc, j.opt, j.explore, true
 }
@@ -403,8 +450,10 @@ func (s *memStore) finishLocked(j *Job, report *obs.RunReport, err error, now ti
 	j.report = report
 	// The decoded board is dead weight once the job is terminal; free it
 	// so a long-lived server does not accumulate every board ever routed.
+	// The checkpoint likewise: it only matters while the job can still run.
 	j.doc = nil
 	j.raw = nil
+	j.checkpoint = nil
 	if err != nil {
 		j.state = StateFailed
 		j.err = err
@@ -437,7 +486,11 @@ func (s *memStore) NonTerminal() []*Job {
 func (s *memStore) Status(j *Job) Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Status{ID: j.id, State: j.state, Board: j.board, Exploration: j.exploration}
+	return s.statusLocked(j)
+}
+
+func (s *memStore) statusLocked(j *Job) Status {
+	st := Status{ID: j.id, State: j.state, Board: j.board, Exploration: j.exploration, Attempts: j.attempts}
 	if j.err != nil {
 		st.Error = j.err.Error()
 		st.ErrorKind = j.kind
@@ -463,6 +516,111 @@ func (s *memStore) Result(j *Job) (*obs.RunReport, *obs.Tracer) {
 
 // Recovered is empty for the in-memory store: nothing survives restart.
 func (s *memStore) Recovered() []*Job { return nil }
+
+// List snapshots every job in the given state (all when state is ""),
+// in acceptance order — the sequence number embedded in the id, which
+// persists across restarts of the durable store.
+func (s *memStore) List(state JobState) []Status {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if state == "" || j.state == state {
+			jobs = append(jobs, j)
+		}
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		na, _ := s.jobSeq(jobs[a].id)
+		nb, _ := s.jobSeq(jobs[b].id)
+		return na < nb
+	})
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = s.statusLocked(j)
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Quarantined returns the quarantined jobs in acceptance order.
+func (s *memStore) Quarantined() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, j := range s.jobs {
+		if j.state == StateQuarantined {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		na, _ := s.jobSeq(out[a].id)
+		nb, _ := s.jobSeq(out[b].id)
+		return na < nb
+	})
+	return out
+}
+
+// Quarantine force-transitions a non-terminal job into quarantine. Like
+// a failure, a quarantined job must not absorb equivalent resubmissions,
+// but unlike a failure it keeps its document so a requeue can re-run it.
+func (s *memStore) Quarantine(j *Job, reason string, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantineLocked(j, reason, now)
+}
+
+func (s *memStore) quarantineLocked(j *Job, reason string, now time.Time) bool {
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = StateQuarantined
+	j.kind = KindPoisoned
+	j.err = errors.New(reason)
+	j.finished = now
+	if j.hash != "" && s.byHash[j.hash] == j.id {
+		delete(s.byHash, j.hash)
+	}
+	return true
+}
+
+// Requeue revives a quarantined job: back to queued with a cleared
+// outcome and a fresh attempt budget. The stored checkpoint survives, so
+// a requeued exploration job resumes instead of restarting.
+func (s *memStore) Requeue(j *Job, now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requeueLocked(j, now)
+}
+
+func (s *memStore) requeueLocked(j *Job, now time.Time) error {
+	if j.state != StateQuarantined {
+		return fmt.Errorf("server: requeue %s: state is %q: %w", j.id, j.state, ErrNotQuarantined)
+	}
+	j.state = StateQueued
+	j.attempts = 0
+	j.err = nil
+	j.kind = ""
+	j.started = time.Time{}
+	j.finished = time.Time{}
+	return nil
+}
+
+// SaveCheckpoint records the job's latest exploration checkpoint.
+func (s *memStore) SaveCheckpoint(j *Job, frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return nil
+	}
+	j.checkpoint = frame
+	return nil
+}
+
+// Checkpoint returns the stored checkpoint frame (nil when none).
+func (s *memStore) Checkpoint(j *Job) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.checkpoint
+}
 
 // Close is a no-op for the in-memory store.
 func (s *memStore) Close() error { return nil }

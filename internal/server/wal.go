@@ -30,11 +30,20 @@ const (
 
 // Record types, in lifecycle order. "drop" unwinds an accept whose job
 // was rejected by admission after the accept record was already durable.
+// "attempt" supersedes "run" (kept for replaying old logs): it carries
+// the start count so recovery can tell a job that keeps crashing the
+// process from one that was merely unlucky. "ckpt" carries an opaque
+// exploration checkpoint so a killed sweep resumes instead of restarting.
+// "quarantine" and "requeue" record the poison-job state transitions.
 const (
-	walAccept = "accept"
-	walRun    = "run"
-	walFinish = "finish"
-	walDrop   = "drop"
+	walAccept     = "accept"
+	walRun        = "run"
+	walAttempt    = "attempt"
+	walFinish     = "finish"
+	walDrop       = "drop"
+	walCheckpoint = "ckpt"
+	walQuarantine = "quarantine"
+	walRequeue    = "requeue"
 )
 
 // walRecord is one WAL entry / one job snapshot row. Accept records
@@ -62,11 +71,18 @@ type walRecord struct {
 	// recovered job re-attaches to the originating distributed trace.
 	Trace string `json:"trace,omitempty"`
 
-	// Finish fields.
+	// Finish fields. Err/Kind double as the preserved diagnostics on a
+	// quarantine record.
 	Err         string              `json:"err,omitempty"`
 	Kind        ErrKind             `json:"kind,omitempty"`
 	Report      json.RawMessage     `json:"report,omitempty"`
 	Exploration *ExplorationSummary `json:"exploration,omitempty"`
+
+	// Attempt is the 1-based start count on attempt and quarantine
+	// records; Ckpt is the opaque exploration-checkpoint frame on ckpt
+	// records (base64 via encoding/json).
+	Attempt int    `json:"attempt,omitempty"`
+	Ckpt    []byte `json:"ckpt,omitempty"`
 }
 
 // encodeWALRecord frames one record payload.
@@ -170,7 +186,10 @@ func (w *walFile) append(rec *walRecord, sync bool) error {
 	return nil
 }
 
-// reset truncates the log to empty after a successful snapshot.
+// reset truncates the log to empty after a successful snapshot. The
+// truncate is fsynced: without it a power loss could resurrect the
+// pre-compaction log bytes next to the new snapshot and replay stale
+// lifecycle records over fresher state.
 func (w *walFile) reset() error {
 	if w.killed {
 		return nil
@@ -180,6 +199,12 @@ func (w *walFile) reset() error {
 	}
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("server: seek wal: %w", err)
+	}
+	if ferr := faultinject.Check(faultinject.SiteWALSync); ferr != nil {
+		return fmt.Errorf("server: sync truncated wal: %w", ferr)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("server: sync truncated wal: %w", err)
 	}
 	return nil
 }

@@ -252,6 +252,21 @@ type RouteOptions struct {
 	// (0 = unbounded). Orders are enumerated deterministically, so a
 	// truncated sweep is a reproducible prefix of the full one.
 	ExploreMaxOrders int
+	// ExploreCheckpointEvery emits a durable checkpoint of the parallel
+	// explorer's frontier after every N settled orders (0 = never). A
+	// later run handed the checkpoint via ExploreResume replays the
+	// settled prefix verbatim and routes only the remainder. The
+	// sequential explorer ignores checkpointing entirely.
+	ExploreCheckpointEvery int
+	// ExploreCheckpointSink receives each emitted checkpoint. Sink
+	// failures are counted but never fail the sweep — a checkpoint is an
+	// optimization, not a correctness dependency.
+	ExploreCheckpointSink func(*ExploreCheckpoint) error
+	// ExploreResume seeds the sweep from a previously emitted checkpoint.
+	// A checkpoint whose fingerprint does not match the current board,
+	// options, and enumeration is rejected (counted, logged) and the
+	// sweep restarts from scratch.
+	ExploreResume *ExploreCheckpoint
 }
 
 // RouteBoard synthesizes every net of the board without cancellation
