@@ -167,13 +167,150 @@ func BenchmarkNodeCurrents(b *testing.B) {
 			}
 		})
 	}
+	// The grow/refine loop re-evaluates member sets against a long-lived
+	// SolveCache, so the benchmark measures the steady-state session path:
+	// the first call (outside the timer) builds the induced subgraph,
+	// Laplacian, and per-pair arenas; timed iterations hit the cached
+	// structures (DESIGN.md §5g).
+	warm := route.NewSolveCache()
+	if _, err := tg.NodeCurrentsCtx(ctx, members, warm); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tg.NodeCurrentsCtx(ctx, members, nil); err != nil {
+		if _, err := tg.NodeCurrentsCtx(ctx, members, warm); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkNodeCurrentsIncremental measures the session's rebuild path:
+// every iteration toggles one non-terminal node, so the member set never
+// matches the cached mask and the solver session re-derives the induced
+// subgraph and Laplacian into its retained arenas — the actual per-step
+// cost inside the grow loop, as opposed to BenchmarkNodeCurrents'
+// same-mask hit path.
+func BenchmarkNodeCurrentsIncremental(b *testing.B) {
+	avail, terms := twoRailSpace(b)
+	tg, err := route.BuildTileGraph(avail, terms, 5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := make([]bool, tg.G.N())
+	for i := range full {
+		full[i] = true
+	}
+	isTerm := make([]bool, tg.G.N())
+	for _, t := range tg.Terminals {
+		isTerm[t] = true
+	}
+	toggle := -1
+	for i := range full {
+		if !isTerm[i] {
+			toggle = i
+			break
+		}
+	}
+	if toggle < 0 {
+		b.Fatal("no non-terminal node to toggle")
+	}
+	notched := make([]bool, tg.G.N())
+	copy(notched, full)
+	notched[toggle] = false
+	ctx := context.Background()
+	warm := route.NewSolveCache()
+	// Validate both masks and charge the initial arena growth outside the
+	// timer; every timed iteration is then a pure structural rebuild.
+	for _, m := range [][]bool{full, notched} {
+		if _, err := tg.NodeCurrentsCtx(ctx, m, warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := full
+		if i%2 == 0 {
+			m = notched
+		}
+		if _, err := tg.NodeCurrentsCtx(ctx, m, warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAMGPrecondition measures the aggregation-AMG rung on a board
+// large enough to clear the ladder's escalation gate (§5g): hierarchy
+// setup, one symmetric V(1,1) cycle, and a full CG solve preconditioned
+// by the cycle, against IC(0) on the same system for scale.
+func BenchmarkAMGPrecondition(b *testing.B) {
+	const w, h = 64, 64
+	n := w * h
+	var edges []sparse.WeightedEdge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := y*w + x
+			if x+1 < w {
+				edges = append(edges, sparse.WeightedEdge{U: id, V: id + 1, W: 1})
+			}
+			if y+1 < h {
+				edges = append(edges, sparse.WeightedEdge{U: id, V: id + w, W: 1})
+			}
+		}
+	}
+	lap, err := sparse.NewLaplacian(n, edges, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mat := lap.Matrix()
+	rhs := make([]float64, mat.Dim())
+	rhs[mat.Dim()-1] = 1
+	rhs[0] = -1
+	b.Run("setup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sparse.NewAMG(mat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m, err := sparse.NewAMG(mat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("vcycle", func(b *testing.B) {
+		ap := m.NewApplier()
+		dst := make([]float64, mat.Dim())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ap.Apply(dst, rhs)
+		}
+	})
+	b.Run("cg", func(b *testing.B) {
+		ap := m.NewApplier()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sparse.CG(mat, rhs, nil, sparse.CGOptions{Apply: ap.Apply}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ic0", func(b *testing.B) {
+		ic, err := sparse.NewIC0(mat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sparse.CG(mat, rhs, nil, sparse.CGOptions{Apply: ic.Apply}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkSeed(b *testing.B) {

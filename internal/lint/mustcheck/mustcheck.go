@@ -1,6 +1,9 @@
 // Package mustcheck flags discarded results of the pure numeric and
 // geometric kernels: sparse solves (sparse.CG/CGCtx, Laplacian.Solve*,
-// Cholesky.Solve) and geom's region/polygon clipping algebra (Union,
+// Cholesky.Solve, the workspace-backed SolveAttemptsCtxWork), solver
+// setup that reports breakdowns (sparse.NewAMG, sparse.ReassembleLaplacian),
+// route's nodal-analysis entry points (NodeCurrents*, PairVoltages*,
+// Resistance), and geom's region/polygon clipping algebra (Union,
 // Intersect, Subtract, Xor, Bloat, Erode, Rasterize, ...). These
 // functions have no side effects — calling one as a statement, or
 // assigning every result to the blank identifier, throws the computation
@@ -30,7 +33,14 @@ var mustUse = map[string]map[string]bool{
 	"internal/sparse": {
 		"CG": true, "CGCtx": true,
 		"Solve": true, "SolveCtx": true, "SolveAttemptsCtx": true,
-		"EffectiveResistance": true,
+		"SolveAttemptsCtxWork": true,
+		"EffectiveResistance":  true,
+		"NewAMG":               true, "ReassembleLaplacian": true,
+	},
+	"internal/route": {
+		"NodeCurrents": true, "NodeCurrentsCtx": true,
+		"PairVoltages": true, "PairVoltagesCtx": true,
+		"Resistance": true,
 	},
 	"internal/geom": {
 		"Union": true, "Intersect": true, "Subtract": true, "Xor": true,

@@ -4,6 +4,7 @@ package a
 
 import (
 	"sprout/internal/geom"
+	"sprout/internal/route"
 	"sprout/internal/sparse"
 )
 
@@ -36,6 +37,38 @@ func BlankSolve(m sparse.Matrix, rhs []float64) {
 func UseSolve(m sparse.Matrix, rhs []float64) ([]float64, error) {
 	x, _, err := sparse.CG(m, rhs, nil, sparse.CGOptions{})
 	return x, err
+}
+
+// DropWorkspaceSolve loses the session-path solve and its ladder trace:
+// flagged.
+func DropWorkspaceSolve(l *sparse.Laplacian, rhs []float64, ws *sparse.Workspace) {
+	l.SolveAttemptsCtxWork(nil, rhs, nil, ws) // want `result of sparse.SolveAttemptsCtxWork discarded`
+}
+
+// DropReassemble throws away both the assembled Laplacian and the
+// validation error: flagged.
+func DropReassemble(l *sparse.Laplacian, edges []sparse.WeightedEdge) {
+	_, _ = sparse.ReassembleLaplacian(l, 4, edges, 0) // want `result of sparse.ReassembleLaplacian assigned to the blank identifier`
+}
+
+// DropAMG discards the hierarchy and its breakdown error: flagged.
+func DropAMG(m *sparse.CSR) {
+	sparse.NewAMG(m) // want `result of sparse.NewAMG discarded`
+}
+
+// DropNodeCurrents loses the metric evaluation and its error: flagged.
+func DropNodeCurrents(tg *route.TileGraph, members []bool) {
+	tg.NodeCurrents(members, nil) // want `result of route.NodeCurrents discarded`
+}
+
+// BlankResistance hides the objective and its error: flagged.
+func BlankResistance(tg *route.TileGraph, members []bool) {
+	_, _ = tg.Resistance(members) // want `result of route.Resistance assigned to the blank identifier`
+}
+
+// UseNodeCurrents is the accepted fix: metrics and error are consumed.
+func UseNodeCurrents(tg *route.TileGraph, members []bool) (*route.Metrics, error) {
+	return tg.NodeCurrents(members, nil)
 }
 
 // MutatorsAreFine: functions outside the must-use table keep working as

@@ -56,6 +56,18 @@ const (
 	MSolverResidualNegLog10 = "solver.residual_neglog10"
 	MLaplacianNNZ           = "laplacian.nnz"
 
+	// Incremental solver session (PR 10): the per-pipeline solver cache
+	// that keeps the induced subgraph, Laplacian, and preconditioner
+	// alive across grow/refine iterations.
+	MSolverCacheHits          = "solver.cache.hits"
+	MSolverCacheRebuilds      = "solver.cache.rebuilds"
+	MSolverCacheInvalidations = "solver.cache.invalidations"
+	// Aggregation-AMG ladder rung (PR 10): hierarchy constructions and
+	// their level counts (one build per Laplacian, lazily on first
+	// escalation into the cg-amg rung).
+	MSolverAMGBuilds = "solver.amg.builds"
+	MSolverAMGLevels = "solver.amg.levels"
+
 	// Pipeline stage latency (PR 8): one histogram per paper stage,
 	// observed in milliseconds when the stage span closes. MStageSolve is
 	// the nodal-analysis slice observed around each linear-system solve.
@@ -180,6 +192,11 @@ func init() {
 		MetricDef{Name: MSolverCGIterations, Kind: KindHistogram, Help: "CG iterations per solve attempt.", Buckets: countBuckets},
 		MetricDef{Name: MSolverResidualNegLog10, Kind: KindHistogram, Help: "Accepted-solve relative residual as -log10.", Buckets: countBuckets},
 		MetricDef{Name: MLaplacianNNZ, Kind: KindHistogram, Help: "Nonzeros of each solved Laplacian.", Buckets: countBuckets},
+		MetricDef{Name: MSolverCacheHits, Kind: KindCounter, Help: "Nodal analyses served from the cached solver session (unchanged member mask)."},
+		MetricDef{Name: MSolverCacheRebuilds, Kind: KindCounter, Help: "Solver-session structural rebuilds after a member-mask delta."},
+		MetricDef{Name: MSolverCacheInvalidations, Kind: KindCounter, Help: "Warm-start vectors dropped after a rung-1 stall; the solve fell back to a cold rebuild."},
+		MetricDef{Name: MSolverAMGBuilds, Kind: KindCounter, Help: "AMG hierarchy constructions (lazy, one per Laplacian reaching the cg-amg rung)."},
+		MetricDef{Name: MSolverAMGLevels, Kind: KindHistogram, Help: "Levels per constructed AMG hierarchy.", Buckets: countBuckets},
 
 		MetricDef{Name: MStagePrefix + "*", Kind: KindHistogram, Help: "Pipeline stage latency in milliseconds.", Buckets: latencyBucketsMS},
 

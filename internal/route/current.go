@@ -33,16 +33,32 @@ type Metrics struct {
 	Solve sparse.SolveStats
 }
 
-// warmCache keeps per-pair voltage solutions keyed by full-graph node id so
+// SolveCache keeps per-pair voltage solutions keyed by full-graph node id so
 // successive SmartGrow/SmartRefine iterations warm-start the CG solver on
-// nearly identical systems.
-type warmCache struct {
+// nearly identical systems. It also owns the incremental solver session
+// (DESIGN.md §5g): the induced subgraph, Laplacian, preconditioner, and
+// per-worker scratch survive across evaluations, so steady-state nodal
+// analyses in the grow/refine hot loop run without rebuild allocations.
+//
+// A SolveCache is single-pipeline state: thread one instance through the
+// stages of one route, do not share it across goroutines.
+type SolveCache struct {
 	pairVolts [][]float64 // pair index -> full-size voltages
 	// stats accumulates solver-ladder telemetry across every solve that
-	// used this cache — the whole pipeline threads one warmCache through
+	// used this cache — the whole pipeline threads one SolveCache through
 	// its stages, so this is the rail's solver summary.
 	stats sparse.SolveStats
+	// noSession disables the incremental session (Config.NoSolverCache):
+	// every evaluation then rebuilds from scratch like the historic path,
+	// keeping only the warm-start vectors. Used by the differential
+	// harness and ablation runs.
+	noSession bool
+	// sess is the lazily created incremental session.
+	sess *solverSession
 }
+
+// NewSolveCache returns an empty cache ready to thread through a pipeline.
+func NewSolveCache() *SolveCache { return &SolveCache{} }
 
 // pairList enumerates the 2-subsets of the terminal list (paper Alg. 3
 // line 3, [Θ]²) with their injection weights. The weight of a pair is the
@@ -76,15 +92,113 @@ type pairSolution struct {
 	pairs   [][2]int    // terminal index pairs
 	weights []float64   // normalized injection weights
 	volts   [][]float64 // per pair, full-size voltages (0 outside subgraph)
-	sub     *graph.Graph
-	orig    []int             // sub node -> full node id
-	stats   sparse.SolveStats // ladder telemetry of this call's solves
+	orig    []int       // sub node -> full node id
+	// neighbors iterates a sub node's adjacency in insertion order — the
+	// same order graph.Graph.Neighbors uses, whichever path produced the
+	// solution, so the metric accumulation below is bit-stable.
+	neighbors func(si int, fn func(nj int, w float64))
+	stats     sparse.SolveStats // ladder telemetry of this call's solves
+}
+
+// runPairSolves drains n independent pair solves through a worker pool
+// (the paper's runtime was measured on an 8-core machine). solveOne is
+// called with a stable worker index so workers can own scratch arenas.
+// Each worker writes only its own slots, keeping results deterministic.
+// The single-solve case runs inline without a context check, matching the
+// historic behavior.
+func runPairSolves(ctx context.Context, n int, solveOne func(worker, pi int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return solveOne(0, 0)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int32
+		firstErr error
+		errOnce  sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				pi := int(atomic.AddInt32(&next, 1)) - 1
+				if pi >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				if err := solveOne(w, pi); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// foldSolveStats folds per-pair ladder traces in pair order — deterministic
+// regardless of solve interleaving — and emits the solver telemetry.
+func foldSolveStats(ctx context.Context, atts [][]sparse.RungAttempt, lap *sparse.Laplacian, solveStart time.Time) sparse.SolveStats {
+	var st sparse.SolveStats
+	for _, a := range atts {
+		st.Record(a)
+	}
+	tr := obs.FromContext(ctx)
+	if !tr.Enabled() {
+		return st
+	}
+	tr.Histogram(obs.MStageSolve).Observe(float64(time.Since(solveStart)) / 1e6)
+	tr.Counter(obs.MSolverSolves).Add(int64(st.Solves))
+	tr.Counter(obs.MSolverIterations).Add(int64(st.Iterations))
+	tr.Counter(obs.MSolverEscalations).Add(int64(st.Escalations))
+	tr.Counter(obs.MSolverFailures).Add(int64(st.Failures))
+	tr.Counter(obs.MSolverPrecondPrefix + lap.Preconditioner()).Add(int64(st.Solves))
+	for rung, n := range st.Rungs {
+		tr.Counter(obs.MSolverRungPrefix + rung).Add(int64(n))
+	}
+	tr.Histogram(obs.MLaplacianNNZ).Observe(float64(lap.NNZ()))
+	for _, as := range atts {
+		for _, a := range as {
+			tr.Histogram(obs.MSolverCGIterations).Observe(float64(a.Iterations))
+			if a.Residual > 0 {
+				// Residuals live at 1e-12..1e-6; bucket their
+				// negated decimal exponent so the fixed bounds
+				// resolve them.
+				tr.Histogram(obs.MSolverResidualNegLog10).Observe(-math.Log10(a.Residual))
+			}
+		}
+	}
+	return st
 }
 
 // solvePairs performs the nodal analysis of paper Eq. 3 for every terminal
 // pair over the member subgraph. Cancelling the context aborts the worker
-// pool between pair solves and inside the CG iterations.
-func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmCache) (*pairSolution, error) {
+// pool between pair solves and inside the CG iterations. With a cache that
+// has the session enabled the solve runs incrementally (DESIGN.md §5g);
+// otherwise it rebuilds from scratch.
+func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *SolveCache) (*pairSolution, error) {
+	if warm != nil && !warm.noSession {
+		return tg.solvePairsSession(ctx, members, warm)
+	}
+	return tg.solvePairsScratch(ctx, members, warm)
+}
+
+// solvePairsScratch is the from-scratch nodal analysis: every structure is
+// rebuilt for the given mask. It is the oracle the differential harness
+// compares the incremental session against, and the path PairVoltages and
+// Resistance use (they carry no cache).
+func (tg *TileGraph) solvePairsScratch(ctx context.Context, members []bool, warm *SolveCache) (*pairSolution, error) {
 	// stage.solve times the whole nodal analysis — the ~90% slice of §II-H.
 	// The clock is only read when tracing is on, keeping the disabled path
 	// byte-identical.
@@ -146,53 +260,13 @@ func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmC
 	if warm != nil && len(warm.pairVolts) != len(pairs) {
 		warm.pairVolts = make([][]float64, len(pairs))
 	}
-	sol := &pairSolution{pairs: pairs, weights: weights, sub: sub, orig: orig}
+	sol := &pairSolution{pairs: pairs, weights: weights, orig: orig, neighbors: sub.Neighbors}
 	sol.volts = make([][]float64, len(pairs))
 
 	// Each worker deposits its ladder trace in its own slot; the traces
-	// are folded after the pool drains, in pair order, so the aggregated
-	// stats stay deterministic regardless of solve interleaving.
+	// are folded after the pool drains, in pair order.
 	atts := make([][]sparse.RungAttempt, len(pairs))
-	finish := func() {
-		var st sparse.SolveStats
-		for _, a := range atts {
-			st.Record(a)
-		}
-		sol.stats = st
-		if warm != nil {
-			warm.stats.Merge(st)
-		}
-		tr := obs.FromContext(ctx)
-		if !tr.Enabled() {
-			return
-		}
-		tr.Histogram(obs.MStageSolve).Observe(float64(time.Since(solveStart)) / 1e6)
-		tr.Counter(obs.MSolverSolves).Add(int64(st.Solves))
-		tr.Counter(obs.MSolverIterations).Add(int64(st.Iterations))
-		tr.Counter(obs.MSolverEscalations).Add(int64(st.Escalations))
-		tr.Counter(obs.MSolverFailures).Add(int64(st.Failures))
-		tr.Counter(obs.MSolverPrecondPrefix + lap.Preconditioner()).Add(int64(st.Solves))
-		for rung, n := range st.Rungs {
-			tr.Counter(obs.MSolverRungPrefix + rung).Add(int64(n))
-		}
-		tr.Histogram(obs.MLaplacianNNZ).Observe(float64(lap.NNZ()))
-		for _, as := range atts {
-			for _, a := range as {
-				tr.Histogram(obs.MSolverCGIterations).Observe(float64(a.Iterations))
-				if a.Residual > 0 {
-					// Residuals live at 1e-12..1e-6; bucket their
-					// negated decimal exponent so the fixed bounds
-					// resolve them.
-					tr.Histogram(obs.MSolverResidualNegLog10).Observe(-math.Log10(a.Residual))
-				}
-			}
-		}
-	}
-
-	// Pair injections are independent linear solves; run them concurrently
-	// (the paper's runtime was measured on an 8-core machine). Each worker
-	// writes only its own slot, so the result stays deterministic.
-	solveOne := func(pi int) error {
+	solveOne := func(_ int, pi int) error {
 		pr := pairs[pi]
 		s, t := subTerms[pr[0]], subTerms[pr[1]]
 		cs, ct := compIdx[s], compIdx[t]
@@ -221,63 +295,29 @@ func (tg *TileGraph) solvePairs(ctx context.Context, members []bool, warm *warmC
 		sol.volts[pi] = full
 		return nil
 	}
-	if len(pairs) == 1 {
-		err := solveOne(0)
-		finish()
-		if err != nil {
-			return nil, err
-		}
-		return sol, nil
+	solveErr := runPairSolves(ctx, len(pairs), solveOne)
+	sol.stats = foldSolveStats(ctx, atts, lap, solveStart)
+	if warm != nil {
+		warm.stats.Merge(sol.stats)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	var (
-		wg       sync.WaitGroup
-		next     int32
-		firstErr error
-		errOnce  sync.Once
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				pi := int(atomic.AddInt32(&next, 1)) - 1
-				if pi >= len(pairs) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-				if err := solveOne(pi); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	finish()
-	if firstErr != nil {
-		return nil, firstErr
+	if solveErr != nil {
+		return nil, solveErr
 	}
 	return sol, nil
 }
 
 // NodeCurrents evaluates the node-current metric without cancellation
 // support; see NodeCurrentsCtx.
-func (tg *TileGraph) NodeCurrents(members []bool, warm *warmCache) (*Metrics, error) {
+func (tg *TileGraph) NodeCurrents(members []bool, warm *SolveCache) (*Metrics, error) {
 	return tg.NodeCurrentsCtx(context.Background(), members, warm)
 }
 
 // NodeCurrentsCtx evaluates the node-current metric over the member
 // subgraph (paper Algorithm 3). All terminals must be members and mutually
 // connected within the mask. warm may be nil; when reused across calls it
-// accelerates the underlying CG solves.
-func (tg *TileGraph) NodeCurrentsCtx(ctx context.Context, members []bool, warm *warmCache) (*Metrics, error) {
+// accelerates the underlying CG solves and keeps the solver session's
+// structures warm.
+func (tg *TileGraph) NodeCurrentsCtx(ctx context.Context, members []bool, warm *SolveCache) (*Metrics, error) {
 	sol, err := tg.solvePairs(ctx, members, warm)
 	if err != nil {
 		return nil, err
@@ -285,8 +325,19 @@ func (tg *TileGraph) NodeCurrentsCtx(ctx context.Context, members []bool, warm *
 	nodeCur := make([]float64, tg.G.N())
 	pairRes := make([]float64, len(sol.pairs))
 	totalRes := 0.0
+	// The accumulation closure is hoisted out of the pair/node loops and
+	// fed through captured slots: allocating it per node would dominate
+	// the steady-state allocation budget of the solver session.
+	var (
+		v   []float64
+		vid float64
+		sum float64
+	)
+	acc := func(nj int, g float64) {
+		sum += g * math.Abs(vid-v[sol.orig[nj]])
+	}
 	for pi, pr := range sol.pairs {
-		v := sol.volts[pi]
+		v = sol.volts[pi]
 		s := tg.Terminals[pr[0]]
 		t := tg.Terminals[pr[1]]
 		r := v[s] - v[t]
@@ -296,10 +347,9 @@ func (tg *TileGraph) NodeCurrentsCtx(ctx context.Context, members []bool, warm *
 		// Accumulate |I| per incident edge into both endpoints
 		// (paper Alg. 3 line 13).
 		for si, id := range sol.orig {
-			var sum float64
-			sol.sub.Neighbors(si, func(nj int, g float64) {
-				sum += g * math.Abs(v[id]-v[sol.orig[nj]])
-			})
+			vid = v[id]
+			sum = 0
+			sol.neighbors(si, acc)
 			nodeCur[id] += w * sum
 		}
 	}

@@ -9,7 +9,7 @@ import (
 
 // SmartGrow grows the subgraph without cancellation support; see
 // SmartGrowCtx.
-func (tg *TileGraph) SmartGrow(members []bool, k int, warm *warmCache) ([]int, error) {
+func (tg *TileGraph) SmartGrow(members []bool, k int, warm *SolveCache) ([]int, error) {
 	return tg.SmartGrowCtx(context.Background(), members, k, warm)
 }
 
@@ -17,7 +17,7 @@ func (tg *TileGraph) SmartGrow(members []bool, k int, warm *warmCache) ([]int, e
 // the candidates adjacent to the members with the highest node current
 // (paper Algorithm 4). It returns the ids actually added. The caller is
 // responsible for stopping at the area budget.
-func (tg *TileGraph) SmartGrowCtx(ctx context.Context, members []bool, k int, warm *warmCache) ([]int, error) {
+func (tg *TileGraph) SmartGrowCtx(ctx context.Context, members []bool, k int, warm *SolveCache) ([]int, error) {
 	if k <= 0 {
 		return nil, nil
 	}

@@ -149,7 +149,7 @@ func TestSmartGrowReducesResistance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm := &warmCache{}
+	warm := NewSolveCache()
 	prev, err := tg.Resistance(members)
 	if err != nil {
 		t.Fatal(err)

@@ -85,7 +85,7 @@ func (tg *TileGraph) terminalsConnected(members []bool) bool {
 
 // SmartRefine performs one refinement step without cancellation support;
 // see SmartRefineCtx.
-func (tg *TileGraph) SmartRefine(members []bool, k int, warm *warmCache) (float64, error) {
+func (tg *TileGraph) SmartRefine(members []bool, k int, warm *SolveCache) (float64, error) {
 	return tg.SmartRefineCtx(context.Background(), members, k, warm)
 }
 
@@ -93,7 +93,7 @@ func (tg *TileGraph) SmartRefine(members []bool, k int, warm *warmCache) (float6
 // the k lowest-current nodes, then re-grow k nodes at the highest-current
 // boundary. It returns the change in node count (normally zero) and the
 // resistance after the step.
-func (tg *TileGraph) SmartRefineCtx(ctx context.Context, members []bool, k int, warm *warmCache) (float64, error) {
+func (tg *TileGraph) SmartRefineCtx(ctx context.Context, members []bool, k int, warm *SolveCache) (float64, error) {
 	m, err := tg.NodeCurrentsCtx(ctx, members, warm)
 	if err != nil {
 		return 0, err
@@ -117,7 +117,7 @@ func (tg *TileGraph) SmartRefineCtx(ctx context.Context, members []bool, k int, 
 
 // Erode erodes to the area budget without cancellation support; see
 // ErodeCtx.
-func (tg *TileGraph) Erode(members []bool, areaMax int64, batch int, warm *warmCache) error {
+func (tg *TileGraph) Erode(members []bool, areaMax int64, batch int, warm *SolveCache) error {
 	return tg.ErodeCtx(context.Background(), members, areaMax, batch, warm)
 }
 
@@ -125,7 +125,7 @@ func (tg *TileGraph) Erode(members []bool, areaMax int64, batch int, warm *warmC
 // member area drops to at most areaMax (the erosion operation of the
 // reheating stage, §II-F). It recomputes the node-current metric every
 // `batch` removals to track the shifting current distribution.
-func (tg *TileGraph) ErodeCtx(ctx context.Context, members []bool, areaMax int64, batch int, warm *warmCache) error {
+func (tg *TileGraph) ErodeCtx(ctx context.Context, members []bool, areaMax int64, batch int, warm *SolveCache) error {
 	if batch < 1 {
 		batch = 1
 	}

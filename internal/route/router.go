@@ -66,6 +66,12 @@ type Config struct {
 	// ErodeBatch is the number of nodes removed per erosion iteration
 	// during reheating. Default GrowNodes.
 	ErodeBatch int
+	// NoSolverCache disables the incremental solver session (DESIGN.md
+	// §5g): every nodal analysis then rebuilds its subgraph, Laplacian,
+	// and preconditioner from scratch, keeping only warm-start vectors.
+	// Results are identical either way; the flag exists for differential
+	// testing and ablation runs.
+	NoSolverCache bool
 }
 
 // Validate rejects configurations that would silently misbehave once
@@ -193,7 +199,8 @@ func SeedOnly(ctx context.Context, avail geom.Region, terms []Terminal, cfg Conf
 		sp.Fail(err)
 		return nil, err
 	}
-	warm := &warmCache{}
+	warm := NewSolveCache()
+	warm.noSession = cfg.NoSolverCache
 	res := &Result{
 		Shape:      tg.Union(members),
 		Members:    members,
@@ -230,7 +237,8 @@ func (tg *TileGraph) RouteCtx(ctx context.Context, cfg Config) (*Result, error) 
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	var trace []IterRecord
-	warm := &warmCache{}
+	warm := NewSolveCache()
+	warm.noSession = cfg.NoSolverCache
 
 	record := func(stage string, members []bool, res float64) {
 		trace = append(trace, IterRecord{

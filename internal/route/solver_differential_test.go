@@ -1,0 +1,411 @@
+package route
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sprout/internal/geom"
+	"sprout/internal/graph"
+	"sprout/internal/sparse"
+)
+
+// This file is the differential gate on the incremental solver session
+// (DESIGN.md §5g): random member-toggle sequences run through the
+// incremental path and the from-scratch oracle side by side. While no
+// warm-start invalidation has fired the two paths must agree bit for bit —
+// voltages, metrics, and ladder telemetry — because member-selection
+// decisions in grow/refine depend on exact float comparisons. After an
+// invalidation the paths legitimately diverge (the session solved cold at
+// full tolerance where the oracle kept a stale warm vector), so agreement
+// drops to sparse.ApproxEqual.
+
+// toggleStep is one step of a differential scenario: the non-terminal
+// nodes whose membership flips before evaluating. An empty step repeats
+// the previous mask, exercising the session's same-mask hit path.
+type toggleStep []int
+
+// diffHarness drives one board through a toggle sequence on both paths.
+type diffHarness struct {
+	tg      *TileGraph
+	members []bool
+	inc     *SolveCache // incremental session path
+	scr     *SolveCache // from-scratch oracle (session disabled)
+	// diverged flips once an invalidation ran: from then on the paths
+	// carry different warm vectors and only approximate agreement holds.
+	diverged bool
+}
+
+func newDiffHarness(t *testing.T, tg *TileGraph, members []bool) *diffHarness {
+	t.Helper()
+	scr := NewSolveCache()
+	scr.noSession = true
+	return &diffHarness{
+		tg:      tg,
+		members: append([]bool(nil), members...),
+		inc:     NewSolveCache(),
+		scr:     scr,
+	}
+}
+
+func sameStats(a, b sparse.SolveStats) bool {
+	if a.Solves != b.Solves || a.Iterations != b.Iterations ||
+		a.Escalations != b.Escalations || a.Failures != b.Failures ||
+		a.WorstResidual != b.WorstResidual || len(a.Rungs) != len(b.Rungs) {
+		return false
+	}
+	for k, v := range a.Rungs {
+		if b.Rungs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// step applies one toggle and evaluates both paths. It returns a non-nil
+// error describing the first disagreement; an agreed-on evaluation failure
+// (e.g. disconnected terminals) reverts the toggle and is not a mismatch.
+func (h *diffHarness) step(st toggleStep) error {
+	for _, id := range st {
+		h.members[id] = !h.members[id]
+	}
+	invBefore := int64(0)
+	if h.inc.sess != nil {
+		invBefore = h.inc.sess.invalidations
+	}
+	mi, erri := h.tg.NodeCurrents(h.members, h.inc)
+	ms, errs := h.tg.NodeCurrents(h.members, h.scr)
+	if (erri == nil) != (errs == nil) {
+		return fmt.Errorf("error disagreement: incremental %v, scratch %v", erri, errs)
+	}
+	if erri != nil {
+		if erri.Error() != errs.Error() {
+			return fmt.Errorf("error text disagreement: %q vs %q", erri, errs)
+		}
+		for _, id := range st {
+			h.members[id] = !h.members[id] // revert: keep the run alive
+		}
+		return nil
+	}
+	if h.inc.sess != nil && h.inc.sess.invalidations != invBefore {
+		h.diverged = true
+	}
+	exact := !h.diverged
+	cmp := func(what string, a, b float64) error {
+		if exact {
+			if a != b {
+				return fmt.Errorf("%s: incremental %x vs scratch %x (bit mismatch)", what, a, b)
+			}
+			return nil
+		}
+		if !sparse.ApproxEqualTol(a, b, 1e-6) {
+			return fmt.Errorf("%s: incremental %g vs scratch %g", what, a, b)
+		}
+		return nil
+	}
+	if err := cmp("Resistance", mi.Resistance, ms.Resistance); err != nil {
+		return err
+	}
+	if len(mi.PairResistance) != len(ms.PairResistance) {
+		return fmt.Errorf("pair count %d vs %d", len(mi.PairResistance), len(ms.PairResistance))
+	}
+	for i := range mi.PairResistance {
+		if err := cmp(fmt.Sprintf("PairResistance[%d]", i), mi.PairResistance[i], ms.PairResistance[i]); err != nil {
+			return err
+		}
+	}
+	for i := range mi.NodeCurrent {
+		if err := cmp(fmt.Sprintf("NodeCurrent[%d]", i), mi.NodeCurrent[i], ms.NodeCurrent[i]); err != nil {
+			return err
+		}
+	}
+	if exact && !sameStats(mi.Solve, ms.Solve) {
+		return fmt.Errorf("solver stats disagree: incremental %+v vs scratch %+v", mi.Solve, ms.Solve)
+	}
+	return nil
+}
+
+// runToggleSeq replays a full scenario from a fresh pair of caches and
+// returns the index of the first failing step with its error.
+func runToggleSeq(t *testing.T, tg *TileGraph, seedMask []bool, seq []toggleStep) (int, error) {
+	t.Helper()
+	h := newDiffHarness(t, tg, seedMask)
+	for i, st := range seq {
+		if err := h.step(st); err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+// shrinkToggleSeq greedily drops steps while the scenario still fails,
+// producing a minimal reproduction for the failure report.
+func shrinkToggleSeq(t *testing.T, tg *TileGraph, seedMask []bool, seq []toggleStep) []toggleStep {
+	t.Helper()
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(seq); i++ {
+			cand := append(append([]toggleStep(nil), seq[:i]...), seq[i+1:]...)
+			if _, err := runToggleSeq(t, tg, seedMask, cand); err != nil {
+				seq = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return seq
+}
+
+// nonTerminalNodes lists toggleable node ids.
+func nonTerminalNodes(tg *TileGraph) []int {
+	isTerm := make(map[int]bool, len(tg.Terminals))
+	for _, t := range tg.Terminals {
+		isTerm[t] = true
+	}
+	var out []int
+	for id := 0; id < tg.G.N(); id++ {
+		if !isTerm[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestDifferentialIncrementalVsScratch is the property gate: seeded random
+// toggle sequences — grow-like additions, refine-like swaps, duplicate
+// masks — agree between the incremental session and the from-scratch
+// oracle. Failures are shrunk to a minimal step sequence before reporting.
+func TestDifferentialIncrementalVsScratch(t *testing.T) {
+	avail, terms := obstacleSpace(t)
+	tg, err := BuildTileGraph(avail, terms, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMask, err := tg.Seed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := nonTerminalNodes(tg)
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			seq := make([]toggleStep, 0, 40)
+			for i := 0; i < 40; i++ {
+				if rng.Intn(4) == 0 {
+					seq = append(seq, toggleStep{}) // duplicate mask: hit path
+					continue
+				}
+				st := make(toggleStep, 0, 3)
+				for k := 0; k <= rng.Intn(3); k++ {
+					st = append(st, candidates[rng.Intn(len(candidates))])
+				}
+				seq = append(seq, st)
+			}
+			if i, err := runToggleSeq(t, tg, seedMask, seq); err != nil {
+				min := shrinkToggleSeq(t, tg, seedMask, seq)
+				t.Fatalf("differential mismatch at step %d: %v\nminimal reproduction (%d steps): %v",
+					i, err, len(min), min)
+			}
+		})
+	}
+}
+
+// TestDifferentialSessionHitPathIsCheap pins the session economics the
+// benchmarks rely on: duplicate-mask evaluations are cache hits (no
+// rebuild) and re-solve in zero CG iterations off the converged warm
+// vectors.
+func TestDifferentialSessionHitPathIsCheap(t *testing.T) {
+	tg, _ := twoTerm(t, 80, 40, 5)
+	members := make([]bool, tg.G.N())
+	for i := range members {
+		members[i] = true
+	}
+	warm := NewSolveCache()
+	if _, err := tg.NodeCurrents(members, warm); err != nil {
+		t.Fatal(err)
+	}
+	s := warm.sess
+	if s == nil || s.rebuilds != 1 {
+		t.Fatalf("first evaluation must rebuild once, got %+v", s)
+	}
+	m, err := tg.NodeCurrents(members, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.hits != 1 || s.rebuilds != 1 {
+		t.Fatalf("repeat evaluation must hit, got hits=%d rebuilds=%d", s.hits, s.rebuilds)
+	}
+	if m.Solve.Iterations != 0 {
+		t.Fatalf("repeat evaluation spent %d CG iterations, want 0 (converged warm start)", m.Solve.Iterations)
+	}
+}
+
+// weakBridgeTileGraph hand-builds the near-singular board of sparse's
+// TestWarmStartNearSingularLaplacian as a tile graph: two 4x4 unit grids
+// joined by a 1e-9 bridge, terminals at the far corners. The grounded
+// Laplacian's condition number is ~1e9 — the regime where a stale warm
+// vector stalls the primary rung instead of converging.
+func weakBridgeTileGraph(t *testing.T) *TileGraph {
+	t.Helper()
+	w, h := 4, 4
+	n := 2 * w * h
+	g := graph.New(n)
+	addEdge := func(u, v int, wt float64) {
+		t.Helper()
+		if err := g.AddEdge(u, v, wt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block := func(off int) {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				id := off + y*w + x
+				if x+1 < w {
+					addEdge(id, id+1, 1)
+				}
+				if y+1 < h {
+					addEdge(id, id+w, 1)
+				}
+			}
+		}
+	}
+	block(0)
+	block(w * h)
+	addEdge(w*h-1, w*h, 1e-9)
+	return &TileGraph{
+		G:           g,
+		Terminals:   []int{0, n - 1},
+		TermCurrent: []float64{1, 1},
+	}
+}
+
+// TestStaleWarmVectorTriggersColdFallback is the regression gate on the
+// stale-warm-start fix: a poisoned warm vector on the near-singular board
+// stalls the primary rung; the session must detect the stall, invalidate
+// the pair's warm vector (solver.cache.invalidations), and deliver the
+// full-tolerance cold answer bit-identically — where the historic path
+// settles for the relaxed rung's degraded solution seeded by the stale
+// Krylov space.
+func TestStaleWarmVectorTriggersColdFallback(t *testing.T) {
+	tg := weakBridgeTileGraph(t)
+	members := make([]bool, tg.G.N())
+	for i := range members {
+		members[i] = true
+	}
+	// The cold oracle: no warm cache at all.
+	oracle, err := tg.NodeCurrents(members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := func(warm *SolveCache) {
+		t.Helper()
+		if _, err := tg.NodeCurrents(members, warm); err != nil {
+			t.Fatal(err)
+		}
+		if len(warm.pairVolts) != 1 || warm.pairVolts[0] == nil {
+			t.Fatalf("expected one cached pair vector, got %v", warm.pairVolts)
+		}
+		// A catastrophic stale vector: potentials at the float ceiling,
+		// alternating sign. The first matvec overflows, the residual
+		// goes NaN, and CG burns its entire budget without converging —
+		// the stall mode a vector scaled by the old 1e9 bridge exhibits
+		// once the bridge is gone from the system.
+		for i := range warm.pairVolts[0] {
+			v := 1e308
+			if i%2 == 1 {
+				v = -1e308
+			}
+			warm.pairVolts[0][i] = v
+		}
+	}
+
+	// Historic path: the stall escalates off the primary rung and the
+	// relaxed rung's answer is accepted.
+	legacy := NewSolveCache()
+	legacy.noSession = true
+	poison(legacy)
+	mLegacy, err := tg.NodeCurrents(members, legacy)
+	if err != nil {
+		t.Fatalf("legacy path: %v", err)
+	}
+	if mLegacy.Solve.Escalations == 0 {
+		t.Fatalf("poisoned warm start did not stall the primary rung (stats %+v); the scenario lost its teeth", mLegacy.Solve)
+	}
+
+	// Session path: same poison, but the stall is detected, the warm
+	// vector dropped, and the ladder re-run cold at full tolerance.
+	sess := NewSolveCache()
+	poison(sess)
+	mSess, err := tg.NodeCurrents(members, sess)
+	if err != nil {
+		t.Fatalf("session path: %v", err)
+	}
+	if got := sess.sess.invalidations; got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+	if mSess.Solve.Rungs[sparse.RungCG] != 1 {
+		t.Fatalf("cold fallback must win on the primary rung at full tolerance, stats %+v", mSess.Solve)
+	}
+	for i := range oracle.NodeCurrent {
+		if mSess.NodeCurrent[i] != oracle.NodeCurrent[i] {
+			t.Fatalf("NodeCurrent[%d]: session %x vs cold oracle %x (bit mismatch)", i, mSess.NodeCurrent[i], oracle.NodeCurrent[i])
+		}
+	}
+	if mSess.Resistance != oracle.Resistance {
+		t.Fatalf("Resistance: session %x vs cold oracle %x", mSess.Resistance, oracle.Resistance)
+	}
+	// And the fix is an improvement, not just a difference: the session's
+	// answer honors the full tolerance while the legacy answer was only
+	// relaxed-tolerance accurate.
+	if mSess.Solve.WorstResidual > 1e-10 {
+		t.Fatalf("session residual %g exceeds the full tolerance", mSess.Solve.WorstResidual)
+	}
+	if !math.IsNaN(mLegacy.Resistance) && mLegacy.Solve.WorstResidual <= mSess.Solve.WorstResidual {
+		t.Logf("note: legacy residual %g vs session %g", mLegacy.Solve.WorstResidual, mSess.Solve.WorstResidual)
+	}
+}
+
+// FuzzIncrementalNodeCurrents fuzzes the toggle stream: bytes drive
+// membership flips on a fixed board and every evaluation must agree with
+// the from-scratch oracle (bit-exactly until an invalidation fires).
+func FuzzIncrementalNodeCurrents(f *testing.F) {
+	f.Add(uint64(1), []byte{3, 7, 11, 3, 19})
+	f.Add(uint64(2), []byte{0, 0, 0, 0})
+	f.Add(uint64(42), []byte{5, 29, 5, 29, 13, 13, 2})
+	avail := geom.RegionFromRect(geom.R(0, 0, 100, 60)).
+		Subtract(geom.RegionFromRect(geom.R(40, 20, 60, 40)))
+	terms := []Terminal{
+		{Name: "PMIC", Shape: geom.RegionFromRect(geom.R(0, 25, 5, 35)), Current: 4},
+		{Name: "BGA1", Shape: geom.RegionFromRect(geom.R(95, 5, 100, 15)), Current: 2},
+		{Name: "BGA2", Shape: geom.RegionFromRect(geom.R(95, 45, 100, 55)), Current: 2},
+	}
+	tg, err := BuildTileGraph(avail, terms, 10, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedMask, err := tg.Seed()
+	if err != nil {
+		f.Fatal(err)
+	}
+	candidates := nonTerminalNodes(tg)
+	f.Fuzz(func(t *testing.T, seed uint64, toggles []byte) {
+		if len(toggles) > 64 {
+			toggles = toggles[:64]
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		h := newDiffHarness(t, tg, seedMask)
+		for i, b := range toggles {
+			var st toggleStep
+			if b%4 != 0 {
+				// Offset by the seeded stream so equal bytes still
+				// explore different nodes across seeds.
+				st = toggleStep{candidates[(int(b)+rng.Intn(len(candidates)))%len(candidates)]}
+			}
+			if err := h.step(st); err != nil {
+				t.Fatalf("step %d (byte %d): %v", i, b, err)
+			}
+		}
+	})
+}

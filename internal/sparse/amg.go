@@ -1,0 +1,261 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aggregation-based algebraic multigrid, used as an escalation rung of the
+// solver fallback ladder for large boards (PAPERS.md: power-grid analysis
+// favors multigrid-preconditioned Krylov solvers once IC(0) stalls). The
+// hierarchy is built once per Laplacian and cached; a V(1,1)-cycle with
+// weighted-Jacobi smoothing serves as a symmetric positive definite
+// preconditioner for CG.
+//
+// The setup is deliberately plain greedy aggregation with a Galerkin
+// (PᵀAP) coarse operator: deterministic, allocation-bounded, and robust on
+// the grounded grid Laplacians SPROUT solves — the goal is a rung that
+// rescues large systems the IC(0) rung gave up on, not peak multigrid
+// throughput.
+
+const (
+	// amgCoarseMax is the dimension at which coarsening stops and the
+	// remaining system is solved densely inside the cycle.
+	amgCoarseMax = 64
+	// amgMaxLevels bounds the hierarchy depth (greedy aggregation at
+	// least halves the unknown count per level in practice; the bound is
+	// a safety net against degenerate coarsening).
+	amgMaxLevels = 24
+	// amgOmega is the weighted-Jacobi damping factor; 2/3 is the
+	// standard choice for Laplacian-like operators.
+	amgOmega = 2.0 / 3.0
+	// amgJacobiFallbackSweeps is the coarsest-level iteration count used
+	// when the dense Cholesky factorization of the coarsest operator
+	// fails (it should not, for an SPD Galerkin product — safety net).
+	amgJacobiFallbackSweeps = 50
+)
+
+// amgLevel is one level of the hierarchy: the operator, its diagonal for
+// the Jacobi smoother, and the fine-to-coarse aggregate map (nil on the
+// coarsest level).
+type amgLevel struct {
+	a    *CSR
+	diag []float64
+	agg  []int // fine node -> coarse aggregate index
+	nc   int   // aggregate count (dimension of the next level)
+}
+
+// AMG is an aggregation-multigrid hierarchy over an SPD matrix. The
+// hierarchy itself is immutable after NewAMG and safe for concurrent use;
+// per-goroutine iteration scratch lives in an AMGApplier.
+type AMG struct {
+	levels []*amgLevel
+	chol   *Cholesky // dense factor of the coarsest operator (nil on breakdown)
+}
+
+// NewAMG builds the multigrid hierarchy for an SPD CSR matrix (in SPROUT:
+// a grounded graph Laplacian). The construction is deterministic — greedy
+// aggregation visits nodes in ascending index order.
+func NewAMG(a *CSR) (*AMG, error) {
+	if a == nil || a.N == 0 {
+		return nil, fmt.Errorf("sparse: AMG needs a non-empty matrix")
+	}
+	m := &AMG{}
+	cur := a
+	for len(m.levels) < amgMaxLevels {
+		lvl := &amgLevel{a: cur, diag: cur.Diag()}
+		for i, d := range lvl.diag {
+			if d <= 0 || math.IsNaN(d) {
+				return nil, fmt.Errorf("sparse: AMG diagonal %g at row %d is not positive", d, i)
+			}
+		}
+		m.levels = append(m.levels, lvl)
+		if cur.N <= amgCoarseMax {
+			break
+		}
+		agg, nc := aggregate(cur)
+		if nc >= cur.N {
+			break // no coarsening progress; stop with what we have
+		}
+		lvl.agg = agg
+		lvl.nc = nc
+		cur = galerkin(cur, agg, nc)
+	}
+	coarse := m.levels[len(m.levels)-1].a
+	if ch, err := coarse.Dense().Cholesky(); err == nil {
+		m.chol = ch
+	}
+	return m, nil
+}
+
+// Levels returns the hierarchy depth (1 means no coarsening happened).
+func (m *AMG) Levels() int { return len(m.levels) }
+
+// CoarseDim returns the dimension of the coarsest-level operator.
+func (m *AMG) CoarseDim() int { return m.levels[len(m.levels)-1].a.N }
+
+// aggregate greedily partitions the nodes of a into aggregates: a seed
+// node claims itself and its unaggregated neighbors; leftover nodes join
+// the neighboring aggregate with the strongest coupling. Deterministic by
+// ascending node order.
+func aggregate(a *CSR) (agg []int, nc int) {
+	n := a.N
+	agg = make([]int, n)
+	for i := range agg {
+		agg[i] = -1
+	}
+	// Pass 1: seed aggregates around nodes with an unaggregated neighbor.
+	for i := 0; i < n; i++ {
+		if agg[i] != -1 {
+			continue
+		}
+		open := false
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := a.Col[k]; j != i && agg[j] == -1 {
+				open = true
+				break
+			}
+		}
+		if !open {
+			continue
+		}
+		agg[i] = nc
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := a.Col[k]; j != i && agg[j] == -1 {
+				agg[j] = nc
+			}
+		}
+		nc++
+	}
+	// Pass 2: attach leftovers to the strongest neighboring aggregate;
+	// isolated leftovers become singletons.
+	for i := 0; i < n; i++ {
+		if agg[i] != -1 {
+			continue
+		}
+		best, bestW := -1, 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			if j == i || agg[j] == -1 {
+				continue
+			}
+			if w := math.Abs(a.Val[k]); best == -1 || w > bestW {
+				best, bestW = agg[j], w
+			}
+		}
+		if best == -1 {
+			best = nc
+			nc++
+		}
+		agg[i] = best
+	}
+	return agg, nc
+}
+
+// galerkin forms the coarse operator PᵀAP for the piecewise-constant
+// prolongator defined by agg.
+func galerkin(a *CSR, agg []int, nc int) *CSR {
+	b := NewBuilder(nc)
+	for r := 0; r < a.N; r++ {
+		cr := agg[r]
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			b.Add(cr, agg[a.Col[k]], a.Val[k])
+		}
+	}
+	return b.Build()
+}
+
+// AMGApplier carries the per-level iteration scratch of one goroutine's
+// V-cycles. Use AMG.NewApplier per concurrent solver; Apply matches the
+// CGOptions.Apply signature.
+type AMGApplier struct {
+	m *AMG
+	// Per level: the right-hand side, the iterate, and the residual.
+	r, x, res [][]float64
+}
+
+// NewApplier allocates iteration scratch for the hierarchy.
+func (m *AMG) NewApplier() *AMGApplier {
+	ap := &AMGApplier{
+		m:   m,
+		r:   make([][]float64, len(m.levels)),
+		x:   make([][]float64, len(m.levels)),
+		res: make([][]float64, len(m.levels)),
+	}
+	for i, lvl := range m.levels {
+		ap.r[i] = make([]float64, lvl.a.N)
+		ap.x[i] = make([]float64, lvl.a.N)
+		ap.res[i] = make([]float64, lvl.a.N)
+	}
+	return ap
+}
+
+// Apply computes dst = B·r where B is one symmetric V(1,1)-cycle with
+// weighted-Jacobi smoothing — an SPD preconditioner for CG. dst and r must
+// not alias.
+func (ap *AMGApplier) Apply(dst, r []float64) {
+	m := ap.m
+	last := len(m.levels) - 1
+	copy(ap.r[0], r)
+	// Down sweep: pre-smooth from a zero iterate (one damped-Jacobi step
+	// is x = ω·D⁻¹·r), then restrict the residual.
+	for l := 0; l < last; l++ {
+		lvl := m.levels[l]
+		x, rl, res := ap.x[l], ap.r[l], ap.res[l]
+		for i := range x {
+			x[i] = amgOmega * rl[i] / lvl.diag[i]
+		}
+		lvl.a.MulVec(res, x)
+		for i := range res {
+			res[i] = rl[i] - res[i]
+		}
+		rc := ap.r[l+1]
+		for i := range rc {
+			rc[i] = 0
+		}
+		for i, ci := range lvl.agg {
+			rc[ci] += res[i]
+		}
+	}
+	// Coarsest level: direct solve (Jacobi sweeps when the dense factor
+	// was unavailable).
+	ap.coarseSolve()
+	// Up sweep: prolong the correction and post-smooth with the same
+	// damped-Jacobi step, keeping the cycle symmetric.
+	for l := last - 1; l >= 0; l-- {
+		lvl := m.levels[l]
+		x, rl, res := ap.x[l], ap.r[l], ap.res[l]
+		xc := ap.x[l+1]
+		for i, ci := range lvl.agg {
+			x[i] += xc[ci]
+		}
+		lvl.a.MulVec(res, x)
+		for i := range x {
+			x[i] += amgOmega * (rl[i] - res[i]) / lvl.diag[i]
+		}
+	}
+	copy(dst, ap.x[0])
+}
+
+// coarseSolve solves the coarsest-level system into ap.x[last].
+func (ap *AMGApplier) coarseSolve() {
+	last := len(ap.m.levels) - 1
+	lvl := ap.m.levels[last]
+	if ch := ap.m.chol; ch != nil {
+		copy(ap.x[last], ch.Solve(ap.r[last]))
+		return
+	}
+	// Fallback: damped-Jacobi sweeps — symmetric, converges for SPD
+	// diagonally dominant operators, and only reachable when the dense
+	// factorization broke down.
+	x, rl, res := ap.x[last], ap.r[last], ap.res[last]
+	for i := range x {
+		x[i] = 0
+	}
+	for s := 0; s < amgJacobiFallbackSweeps; s++ {
+		lvl.a.MulVec(res, x)
+		for i := range x {
+			x[i] += amgOmega * (rl[i] - res[i]) / lvl.diag[i]
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sprout/internal/faultinject"
+)
+
+func TestAMGHierarchyCoarsensGrid(t *testing.T) {
+	lap, _ := gridLaplacian(t, 40, 40)
+	m, err := NewAMG(lap.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Levels() < 2 {
+		t.Fatalf("levels = %d, want a real hierarchy on a 1599-unknown grid", m.Levels())
+	}
+	if m.CoarseDim() > amgCoarseMax {
+		t.Fatalf("coarse dim = %d, want <= %d", m.CoarseDim(), amgCoarseMax)
+	}
+	// Determinism: a second construction yields the same shape.
+	m2, err := NewAMG(lap.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Levels() != m.Levels() || m2.CoarseDim() != m.CoarseDim() {
+		t.Fatalf("hierarchy not deterministic: (%d,%d) vs (%d,%d)",
+			m.Levels(), m.CoarseDim(), m2.Levels(), m2.CoarseDim())
+	}
+}
+
+// TestAMGApplierIsSymmetric checks the preconditioner property CG depends
+// on: B must satisfy <B r1, r2> = <r1, B r2> (a symmetric V-cycle).
+func TestAMGApplierIsSymmetric(t *testing.T) {
+	lap, _ := gridLaplacian(t, 20, 20)
+	m, err := NewAMG(lap.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := m.NewApplier()
+	n := lap.Matrix().Dim()
+	rng := rand.New(rand.NewSource(7))
+	r1 := make([]float64, n)
+	r2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r1[i] = rng.NormFloat64()
+		r2[i] = rng.NormFloat64()
+	}
+	z1 := make([]float64, n)
+	z2 := make([]float64, n)
+	ap.Apply(z1, r1)
+	ap.Apply(z2, r2)
+	a := dot(z1, r2)
+	b := dot(z2, r1)
+	if math.Abs(a-b) > 1e-9*(math.Abs(a)+math.Abs(b)+1) {
+		t.Fatalf("V-cycle not symmetric: <Br1,r2>=%g <r1,Br2>=%g", a, b)
+	}
+	// And positive on a nonzero residual.
+	if dot(z1, r1) <= 0 {
+		t.Fatalf("V-cycle not positive: <Br,r>=%g", dot(z1, r1))
+	}
+}
+
+func TestCGWithAMGMatchesOracle(t *testing.T) {
+	lap, b := gridLaplacian(t, 24, 24)
+	want := denseOracle(t, lap, b)
+	m, err := NewAMG(lap.Matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, lap.N()-1)
+	for i := range rhs {
+		rhs[i] = b[i+1] // ground is node 0
+	}
+	x, iters, err := CG(lap.Matrix(), rhs, nil, CGOptions{Apply: m.NewApplier().Apply})
+	if err != nil {
+		t.Fatalf("CG with AMG preconditioner: %v (%d iterations)", err, iters)
+	}
+	for i := range x {
+		if !almostEq(x[i], want[i+1], 1e-6) {
+			t.Fatalf("x[%d]: amg-cg %g vs oracle %g", i, x[i], want[i+1])
+		}
+	}
+	// The hierarchy should also beat plain Jacobi on iteration count —
+	// that is the point of the rung.
+	_, jacIters, err := CG(lap.Matrix(), rhs, nil, CGOptions{Precond: lap.Matrix().Diag()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters >= jacIters {
+		t.Fatalf("amg iters %d >= jacobi iters %d; hierarchy buys nothing", iters, jacIters)
+	}
+}
+
+// TestLadderEscalatesToAMGRung forces the primary rung to fail on a board
+// above amgMinDim and checks the AMG rung recovers at full tolerance
+// before the relaxed rung would have accepted a degraded answer.
+func TestLadderEscalatesToAMGRung(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	oldMin := amgMinDim
+	amgMinDim = 32
+	defer func() { amgMinDim = oldMin }()
+
+	lap, b := gridLaplacian(t, 10, 10)
+	want := denseOracle(t, lap, b)
+	faultinject.Arm(faultinject.SiteCG, 1, func() error { return ErrNoConvergence })
+	got, attempts, err := lap.SolveAttemptsCtx(context.Background(), b, nil)
+	if err != nil {
+		t.Fatalf("ladder did not recover: %v", err)
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("attempts = %d, want failed cg-ic0 then cg-amg", len(attempts))
+	}
+	if attempts[0].Rung != RungCG || attempts[0].Err == nil {
+		t.Fatalf("attempt 0 = %+v, want failed %s", attempts[0], RungCG)
+	}
+	if attempts[1].Rung != RungCGAMG || attempts[1].Err != nil {
+		t.Fatalf("attempt 1 = %+v, want accepted %s", attempts[1], RungCGAMG)
+	}
+	if attempts[1].Residual > 1e-10 {
+		t.Fatalf("amg rung residual %g, want full tolerance", attempts[1].Residual)
+	}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-6) {
+			t.Fatalf("x[%d]: %g vs oracle %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLadderAMGRungSkippedBelowMinDim pins the historic ladder shape for
+// small systems: rung traces stay [cg-ic0, cg-jacobi-relaxed, dense].
+func TestLadderAMGRungSkippedBelowMinDim(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	old := denseFallbackMax
+	denseFallbackMax = 1
+	defer func() { denseFallbackMax = old }()
+
+	lap, b := gridLaplacian(t, 6, 6)
+	faultinject.Arm(faultinject.SiteCG, 0, func() error { return ErrNoConvergence })
+	_, err := lap.Solve(b, nil)
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SolveError, got %v", err)
+	}
+	for _, a := range se.Attempts {
+		if a.Rung == RungCGAMG {
+			t.Fatalf("cg-amg ran on a %d-unknown system below amgMinDim=%d", lap.Matrix().Dim(), amgMinDim)
+		}
+	}
+}

@@ -52,6 +52,12 @@ type CGOptions struct {
 	// residual of the solve — telemetry for the fallback ladder and the
 	// observability layer.
 	Stats *CGStats
+	// Work, when non-nil, supplies the iteration vectors so repeated
+	// solves allocate nothing. The returned solution then aliases the
+	// workspace and is only valid until its next use. The arithmetic is
+	// identical either way — the buffers are fully (re)initialized before
+	// use.
+	Work *CGWork
 }
 
 // validate rejects option values that would loop forever (negative Tol
@@ -114,11 +120,20 @@ func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]flo
 		}
 	}
 
-	x := make([]float64, n)
+	var x, r []float64
+	if opt.Work != nil {
+		x = vec(&opt.Work.x, n)
+		for i := range x {
+			x[i] = 0
+		}
+		r = vec(&opt.Work.r, n)
+	} else {
+		x = make([]float64, n)
+		r = make([]float64, n)
+	}
 	if x0 != nil {
 		copy(x, x0)
 	}
-	r := make([]float64, n)
 	a.MulVec(r, x)
 	for i := range r {
 		r[i] = b[i] - r[i]
@@ -127,7 +142,10 @@ func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]flo
 	if normB == 0 {
 		lastRes = 0
 		setStats(0)
-		return make([]float64, n), 0, nil // b = 0 ⇒ x = 0
+		for i := range x {
+			x[i] = 0
+		}
+		return x, 0, nil // b = 0 ⇒ x = 0
 	}
 	lastRes = norm2(r) / normB
 	if lastRes <= tol {
@@ -140,11 +158,18 @@ func CGCtx(ctx context.Context, a Matrix, b, x0 []float64, opt CGOptions) ([]flo
 		diag := opt.Precond
 		precond = func(dst, r []float64) { applyJacobi(dst, r, diag) }
 	}
-	z := make([]float64, n)
+	var z, p, ap []float64
+	if opt.Work != nil {
+		z = vec(&opt.Work.z, n)
+		p = vec(&opt.Work.p, n)
+		ap = vec(&opt.Work.ap, n)
+	} else {
+		z = make([]float64, n)
+		p = make([]float64, n)
+		ap = make([]float64, n)
+	}
 	precond(z, r)
-	p := make([]float64, n)
 	copy(p, z)
-	ap := make([]float64, n)
 	rz := dot(r, z)
 
 	for it := 1; it <= maxIter; it++ {

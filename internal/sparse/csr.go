@@ -43,6 +43,14 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
 }
 
+// Reset reuses the builder's entry storage for a fresh n x n assembly.
+// Repeated assemblies through a reset builder are allocation-free once the
+// entry buffer has grown to the working-set size.
+func (b *Builder) Reset(n int) {
+	b.n = n
+	b.entries = b.entries[:0]
+}
+
 // Add accumulates v at (row, col). Out-of-range indices panic: assembly
 // indices are program logic, not data.
 func (b *Builder) Add(row, col int, v float64) {
@@ -63,13 +71,31 @@ func (b *Builder) AddSym(row, col int, v float64) {
 // Build assembles the CSR matrix, summing duplicates and dropping explicit
 // zeros that cancelled out.
 func (b *Builder) Build() *CSR {
+	return b.BuildInto(nil)
+}
+
+// BuildInto assembles into m, reusing its backing slices when they are
+// large enough (nil m allocates a fresh matrix). The resulting matrix is
+// element-for-element identical to Build on the same entry sequence: the
+// sort and duplicate summation run over the same values in the same order,
+// only the destination storage differs.
+func (b *Builder) BuildInto(m *CSR) *CSR {
 	sort.Slice(b.entries, func(i, j int) bool {
 		if b.entries[i].row != b.entries[j].row {
 			return b.entries[i].row < b.entries[j].row
 		}
 		return b.entries[i].col < b.entries[j].col
 	})
-	m := &CSR{N: b.n, RowPtr: make([]int, b.n+1)}
+	if m == nil {
+		m = &CSR{}
+	}
+	m.N = b.n
+	m.RowPtr = growInts(m.RowPtr, b.n+1)
+	for i := range m.RowPtr {
+		m.RowPtr[i] = 0
+	}
+	m.Col = m.Col[:0]
+	m.Val = m.Val[:0]
 	for i := 0; i < len(b.entries); {
 		j := i
 		v := 0.0
@@ -88,6 +114,24 @@ func (b *Builder) Build() *CSR {
 		m.RowPtr[r+1] += m.RowPtr[r]
 	}
 	return m
+}
+
+// growInts returns s resized to length n, reusing its backing array when
+// the capacity suffices. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats returns s resized to length n, reusing its backing array when
+// the capacity suffices. Contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // CSR is a compressed-sparse-row matrix.
@@ -130,11 +174,17 @@ func (m *CSR) At(row, col int) float64 {
 
 // Diag extracts the diagonal into a new slice.
 func (m *CSR) Diag() []float64 {
-	d := make([]float64, m.N)
+	return m.DiagInto(nil)
+}
+
+// DiagInto extracts the diagonal into dst, reusing its backing array when
+// large enough (nil dst allocates).
+func (m *CSR) DiagInto(dst []float64) []float64 {
+	dst = growFloats(dst, m.N)
 	for r := 0; r < m.N; r++ {
-		d[r] = m.At(r, r)
+		dst[r] = m.At(r, r)
 	}
-	return d
+	return dst
 }
 
 // Dense converts the matrix to dense form (for tests and small systems).

@@ -21,8 +21,26 @@ type IC0 struct {
 // NewIC0 computes the incomplete factor of a symmetric positive definite
 // CSR matrix, keeping only the sparsity of the lower triangle of A.
 func NewIC0(a *CSR) (*IC0, error) {
+	return NewIC0Into(nil, a)
+}
+
+// NewIC0Into computes the factor into dst, reusing its storage when large
+// enough (nil dst allocates). The factorization is numerically identical
+// to NewIC0 — every buffer is fully rewritten before use. On error dst's
+// contents are unspecified; callers must not use a factor whose
+// construction failed.
+func NewIC0Into(dst *IC0, a *CSR) (*IC0, error) {
 	n := a.N
-	ic := &IC0{n: n, rowPtr: make([]int, n+1), diag: make([]int, n)}
+	ic := dst
+	if ic == nil {
+		ic = &IC0{}
+	}
+	ic.n = n
+	ic.rowPtr = growInts(ic.rowPtr, n+1)
+	ic.rowPtr[0] = 0
+	ic.diag = growInts(ic.diag, n)
+	ic.col = ic.col[:0]
+	ic.val = ic.val[:0]
 	// Collect the lower triangle (including diagonal) row by row.
 	for r := 0; r < n; r++ {
 		hasDiag := false

@@ -16,6 +16,12 @@ const (
 	// (Jacobi when the factorization was unavailable) at the default
 	// tolerance, warm-started when the caller has a previous solution.
 	RungCG = "cg-ic0"
+	// RungCGAMG is the large-board escalation: a cold CG restart
+	// preconditioned by an aggregation-AMG V-cycle at the full tolerance.
+	// It only runs when the grounded dimension is at least amgMinDim —
+	// below that the relaxed rung is cheaper than building a hierarchy —
+	// and the hierarchy is built lazily and cached on the Laplacian.
+	RungCGAMG = "cg-amg"
 	// RungCGRelaxed retries cold with plain Jacobi preconditioning, a
 	// relaxed tolerance and a doubled iteration budget. It recovers cases
 	// where a stale IC(0) factor or a bad warm start stalls the primary
@@ -35,6 +41,12 @@ const relaxedTol = 1e-7
 // Cholesky rung accepts (n² floats of scratch; 2048² ≈ 32 MB). A variable
 // so tests can exercise the "system too large" path cheaply.
 var denseFallbackMax = 2048
+
+// amgMinDim is the smallest grounded-system dimension for which the
+// cg-amg rung runs: the hierarchy setup only pays off on large boards,
+// and keeping small systems off the rung preserves the ladder's historic
+// escalation traces. A variable so tests can force the rung cheaply.
+var amgMinDim = 512
 
 // RungAttempt records one rung of the fallback ladder.
 type RungAttempt struct {
@@ -97,13 +109,20 @@ func relResidual(a Matrix, b, x []float64) float64 {
 
 // solveLadder runs the fallback ladder on the grounded system mat*x = rhs.
 // x0 optionally warm-starts the first rung. Context cancellation aborts
-// the ladder immediately — a cancelled solve is not a solver fault.
+// the ladder immediately — a cancelled solve is not a solver fault. ws,
+// when non-nil, supplies the CG iteration vectors (the returned solution
+// may then alias it).
 //
 // The returned attempts list every rung tried, in order; on success the
 // final attempt is the accepted rung with a nil Err and the residual the
 // solve actually achieved, so callers see degraded-but-recovered solves
 // without a SolveError.
-func solveLadder(ctx context.Context, mat *CSR, diag []float64, ic *IC0, rhs, x0 []float64) ([]float64, []RungAttempt, error) {
+func (l *Laplacian) solveLadder(ctx context.Context, rhs, x0 []float64, ws *Workspace) ([]float64, []RungAttempt, error) {
+	mat, diag, ic := l.mat, l.diag, l.ic
+	var cgw *CGWork
+	if ws != nil {
+		cgw = &ws.cg
+	}
 	var attempts []RungAttempt
 	totalIters := 0
 	bestRes := math.NaN()
@@ -117,7 +136,7 @@ func solveLadder(ctx context.Context, mat *CSR, diag []float64, ic *IC0, rhs, x0
 
 	// Rung 1: CG with IC(0) (Jacobi when IC(0) broke down at assembly).
 	var st CGStats
-	opt := CGOptions{Precond: diag, Stats: &st}
+	opt := CGOptions{Precond: diag, Stats: &st, Work: cgw}
 	if ic != nil {
 		opt.Apply = ic.Apply
 	}
@@ -135,16 +154,53 @@ func solveLadder(ctx context.Context, mat *CSR, diag []float64, ic *IC0, rhs, x0
 	obs.Event(ctx, "solver.escalate",
 		obs.A("from", RungCG), obs.A("iterations", iters))
 
-	// Rung 2: cold restart, plain Jacobi, relaxed tolerance, doubled
+	// Rung 2 (large boards only): cold CG restart preconditioned by an
+	// aggregation-AMG V-cycle at the full tolerance. The hierarchy is
+	// built lazily, once, and cached on the Laplacian; small systems skip
+	// straight to the relaxed rung, which is cheaper than a setup.
+	n := mat.Dim()
+	if n >= amgMinDim {
+		amg, built, aerr := l.amgHierarchy()
+		if built && aerr == nil {
+			tr := obs.FromContext(ctx)
+			if tr.Enabled() {
+				tr.Counter(obs.MSolverAMGBuilds).Add(1)
+				tr.Histogram(obs.MSolverAMGLevels).Observe(float64(amg.Levels()))
+			}
+		}
+		if aerr != nil {
+			note(RungCGAMG, 0, math.NaN(), fmt.Errorf("sparse: AMG setup: %w", aerr))
+			obs.Event(ctx, "solver.escalate",
+				obs.A("from", RungCGAMG), obs.A("iterations", 0))
+		} else {
+			x, iters, err = CGCtx(ctx, mat, rhs, nil, CGOptions{
+				Apply: amg.NewApplier().Apply,
+				Stats: &st,
+				Work:  cgw,
+			})
+			if err == nil {
+				note(RungCGAMG, iters, st.Residual, nil)
+				return x, attempts, nil
+			}
+			if ctxErr(err) {
+				return nil, attempts, err
+			}
+			note(RungCGAMG, iters, relResidual(mat, rhs, x), err)
+			obs.Event(ctx, "solver.escalate",
+				obs.A("from", RungCGAMG), obs.A("iterations", iters))
+		}
+	}
+
+	// Rung 3: cold restart, plain Jacobi, relaxed tolerance, doubled
 	// budget. A fresh Krylov space sidesteps warm-start or IC(0)
 	// pathologies; the relaxed tolerance accepts solves that stalled just
 	// short of the default.
-	n := mat.Dim()
 	x, iters, err = CGCtx(ctx, mat, rhs, nil, CGOptions{
 		Tol:     relaxedTol,
 		MaxIter: 20*n + 200,
 		Precond: diag,
 		Stats:   &st,
+		Work:    cgw,
 	})
 	if err == nil {
 		note(RungCGRelaxed, iters, st.Residual, nil)
@@ -157,7 +213,7 @@ func solveLadder(ctx context.Context, mat *CSR, diag []float64, ic *IC0, rhs, x0
 	obs.Event(ctx, "solver.escalate",
 		obs.A("from", RungCGRelaxed), obs.A("iterations", iters))
 
-	// Rung 3: dense Cholesky for small systems.
+	// Final rung: dense Cholesky for small systems.
 	if n <= denseFallbackMax {
 		ch, cerr := mat.Dense().Cholesky()
 		if cerr == nil {

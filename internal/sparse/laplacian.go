@@ -3,6 +3,7 @@ package sparse
 import (
 	"context"
 	"fmt"
+	"sync"
 )
 
 // WeightedEdge is an undirected graph edge with a positive conductance.
@@ -24,28 +25,66 @@ type Laplacian struct {
 	ic      *IC0  // incomplete Cholesky preconditioner (nil on breakdown)
 	indexOf []int // full node id -> grounded index, -1 for ground
 	nodeOf  []int // grounded index -> full node id
+
+	// Assembly arenas retained for ReassembleLaplacian: the coordinate
+	// builder and the IC(0) storage (kept even while ic is nil so a later
+	// reassembly can reuse it).
+	asm     *Builder
+	icStore *IC0
+
+	// Lazily built AMG hierarchy for the cg-amg ladder rung. Guarded by a
+	// mutex because pair solves run concurrently over one Laplacian;
+	// reassembly resets the cache.
+	amgMu    sync.Mutex
+	amgVal   *AMG
+	amgErr   error
+	amgBuilt bool
 }
 
 // NewLaplacian assembles the grounded Laplacian of an n-node graph.
 // Edges with non-positive weight or out-of-range endpoints are rejected.
 func NewLaplacian(n int, edges []WeightedEdge, ground int) (*Laplacian, error) {
+	return ReassembleLaplacian(nil, n, edges, ground)
+}
+
+// ReassembleLaplacian assembles the grounded Laplacian into dst, reusing
+// its matrix, preconditioner, and index storage (nil dst allocates a fresh
+// Laplacian — NewLaplacian is exactly that). The result is numerically
+// identical to NewLaplacian on the same inputs: the builder receives the
+// same entry sequence, so the assembled matrix and its IC(0) factor match
+// bit for bit. On error dst is unusable until a later reassembly succeeds.
+func ReassembleLaplacian(dst *Laplacian, n int, edges []WeightedEdge, ground int) (*Laplacian, error) {
 	if n <= 1 {
 		return nil, fmt.Errorf("sparse: laplacian needs n >= 2, got %d", n)
 	}
 	if ground < 0 || ground >= n {
 		return nil, fmt.Errorf("sparse: ground node %d out of range [0,%d)", ground, n)
 	}
-	indexOf := make([]int, n)
-	nodeOf := make([]int, 0, n-1)
+	l := dst
+	if l == nil {
+		l = &Laplacian{}
+	}
+	l.n = n
+	l.ground = ground
+	l.amgMu.Lock()
+	l.amgVal, l.amgErr, l.amgBuilt = nil, nil, false
+	l.amgMu.Unlock()
+	l.indexOf = growInts(l.indexOf, n)
+	l.nodeOf = growInts(l.nodeOf, n-1)[:0]
 	for i := 0; i < n; i++ {
 		if i == ground {
-			indexOf[i] = -1
+			l.indexOf[i] = -1
 			continue
 		}
-		indexOf[i] = len(nodeOf)
-		nodeOf = append(nodeOf, i)
+		l.indexOf[i] = len(l.nodeOf)
+		l.nodeOf = append(l.nodeOf, i)
 	}
-	b := NewBuilder(n - 1)
+	if l.asm == nil {
+		l.asm = NewBuilder(n - 1)
+	} else {
+		l.asm.Reset(n - 1)
+	}
+	b := l.asm
 	for _, e := range edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
 			return nil, fmt.Errorf("sparse: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
@@ -56,7 +95,7 @@ func NewLaplacian(n int, edges []WeightedEdge, ground int) (*Laplacian, error) {
 		if e.W <= 0 {
 			return nil, fmt.Errorf("sparse: edge (%d,%d) has non-positive weight %g", e.U, e.V, e.W)
 		}
-		iu, iv := indexOf[e.U], indexOf[e.V]
+		iu, iv := l.indexOf[e.U], l.indexOf[e.V]
 		if iu >= 0 {
 			b.Add(iu, iu, e.W)
 		}
@@ -68,22 +107,32 @@ func NewLaplacian(n int, edges []WeightedEdge, ground int) (*Laplacian, error) {
 			b.Add(iv, iu, -e.W)
 		}
 	}
-	mat := b.Build()
+	l.mat = b.BuildInto(l.mat)
+	l.diag = l.mat.DiagInto(l.diag)
 	// IC(0) exists for the grounded Laplacian (an M-matrix); fall back to
 	// Jacobi if a degenerate input breaks the factorization.
-	ic, err := NewIC0(mat)
+	ic, err := NewIC0Into(l.icStore, l.mat)
 	if err != nil {
-		ic = nil
+		l.ic = nil
+	} else {
+		l.ic = ic
+		l.icStore = ic
 	}
-	return &Laplacian{
-		n:       n,
-		ground:  ground,
-		mat:     mat,
-		diag:    mat.Diag(),
-		ic:      ic,
-		indexOf: indexOf,
-		nodeOf:  nodeOf,
-	}, nil
+	return l, nil
+}
+
+// amgHierarchy returns the cached AMG hierarchy for the grounded matrix,
+// building it on first use. built reports whether this call performed the
+// construction (for telemetry). Safe for concurrent solvers.
+func (l *Laplacian) amgHierarchy() (m *AMG, built bool, err error) {
+	l.amgMu.Lock()
+	defer l.amgMu.Unlock()
+	if !l.amgBuilt {
+		l.amgVal, l.amgErr = NewAMG(l.mat)
+		l.amgBuilt = true
+		built = true
+	}
+	return l.amgVal, built, l.amgErr
 }
 
 // N returns the number of nodes in the full (ungrounded) graph.
@@ -135,10 +184,25 @@ func (l *Laplacian) SolveCtx(ctx context.Context, b []float64, warm []float64) (
 // success. Callers that aggregate solver telemetry (SolveStats.Record) use
 // this variant so successful solves are observable too.
 func (l *Laplacian) SolveAttemptsCtx(ctx context.Context, b []float64, warm []float64) ([]float64, []RungAttempt, error) {
+	return l.SolveAttemptsCtxWork(ctx, b, warm, nil)
+}
+
+// SolveAttemptsCtxWork is SolveAttemptsCtx with caller-owned scratch: when
+// ws is non-nil the grounded staging vectors and the CG iteration vectors
+// come from the workspace, making repeated solves allocation-free. The
+// returned solution then aliases the workspace and is only valid until its
+// next solve; callers must copy what they keep. The arithmetic is
+// identical to the workspace-free path.
+func (l *Laplacian) SolveAttemptsCtxWork(ctx context.Context, b []float64, warm []float64, ws *Workspace) ([]float64, []RungAttempt, error) {
 	if len(b) != l.n {
 		return nil, nil, fmt.Errorf("sparse: Solve rhs dim %d, want %d", len(b), l.n)
 	}
-	rhs := make([]float64, l.n-1)
+	var rhs []float64
+	if ws != nil {
+		rhs = vec(&ws.rhs, l.n-1)
+	} else {
+		rhs = make([]float64, l.n-1)
+	}
 	for gi, node := range l.nodeOf {
 		rhs[gi] = b[node]
 	}
@@ -147,16 +211,26 @@ func (l *Laplacian) SolveAttemptsCtx(ctx context.Context, b []float64, warm []fl
 		if len(warm) != l.n {
 			return nil, nil, fmt.Errorf("sparse: warm start dim %d, want %d", len(warm), l.n)
 		}
-		x0 = make([]float64, l.n-1)
+		if ws != nil {
+			x0 = vec(&ws.x0, l.n-1)
+		} else {
+			x0 = make([]float64, l.n-1)
+		}
 		for gi, node := range l.nodeOf {
 			x0[gi] = warm[node]
 		}
 	}
-	x, attempts, err := solveLadder(ctx, l.mat, l.diag, l.ic, rhs, x0)
+	x, attempts, err := l.solveLadder(ctx, rhs, x0, ws)
 	if err != nil {
 		return nil, attempts, fmt.Errorf("sparse: laplacian solve: %w", err)
 	}
-	out := make([]float64, l.n)
+	var out []float64
+	if ws != nil {
+		out = vec(&ws.out, l.n)
+		out[l.ground] = 0
+	} else {
+		out = make([]float64, l.n)
+	}
 	for gi, node := range l.nodeOf {
 		out[node] = x[gi]
 	}

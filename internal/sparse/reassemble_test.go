@@ -1,0 +1,205 @@
+package sparse
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// randomConnectedEdges builds a connected weighted graph on n nodes: a
+// random spanning chain plus extra chords. Deterministic per seed.
+func randomConnectedEdges(n int, extra int, seed int64) []WeightedEdge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]WeightedEdge, 0, n-1+extra)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		edges = append(edges, WeightedEdge{U: u, V: v, W: 0.5 + rng.Float64()})
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, WeightedEdge{U: u, V: v, W: 0.5 + rng.Float64()})
+	}
+	return edges
+}
+
+func bitEqualFloats(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: %x vs %x (bit mismatch)", what, i, got[i], want[i])
+		}
+	}
+}
+
+func bitEqualInts(t *testing.T, what string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: %d vs %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestReassembleLaplacianBitIdentical is the contract the route solver
+// session rests on: reassembling into a reused Laplacian — across edge
+// sets of different sizes, in any order — produces exactly the matrix,
+// preconditioner, and solve results a fresh NewLaplacian would.
+func TestReassembleLaplacianBitIdentical(t *testing.T) {
+	const n = 60
+	setA := randomConnectedEdges(n, 40, 1)
+	setB := randomConnectedEdges(n, 90, 2)
+	setC := randomConnectedEdges(n, 5, 3)
+
+	var reused *Laplacian
+	for round, edges := range [][]WeightedEdge{setA, setB, setC, setA, setC, setB} {
+		fresh, err := NewLaplacian(n, edges, 0)
+		if err != nil {
+			t.Fatalf("round %d: NewLaplacian: %v", round, err)
+		}
+		reused, err = ReassembleLaplacian(reused, n, edges, 0)
+		if err != nil {
+			t.Fatalf("round %d: ReassembleLaplacian: %v", round, err)
+		}
+		bitEqualInts(t, "RowPtr", reused.Matrix().RowPtr, fresh.Matrix().RowPtr)
+		bitEqualInts(t, "Col", reused.Matrix().Col, fresh.Matrix().Col)
+		bitEqualFloats(t, "Val", reused.Matrix().Val, fresh.Matrix().Val)
+		if reused.Preconditioner() != fresh.Preconditioner() {
+			t.Fatalf("round %d: preconditioner %q vs %q", round, reused.Preconditioner(), fresh.Preconditioner())
+		}
+
+		b := make([]float64, n)
+		b[n-1] = 1
+		b[0] = -1
+		xr, ar, err := reused.SolveAttemptsCtx(context.Background(), b, nil)
+		if err != nil {
+			t.Fatalf("round %d: reused solve: %v", round, err)
+		}
+		xf, af, err := fresh.SolveAttemptsCtx(context.Background(), b, nil)
+		if err != nil {
+			t.Fatalf("round %d: fresh solve: %v", round, err)
+		}
+		bitEqualFloats(t, "solution", xr, xf)
+		if len(ar) != len(af) || ar[0].Iterations != af[0].Iterations || ar[0].Residual != af[0].Residual {
+			t.Fatalf("round %d: attempt traces diverge: %+v vs %+v", round, ar, af)
+		}
+	}
+}
+
+// TestReassembleLaplacianRejectsBadInput pins the validation errors on the
+// reuse path and that a reused Laplacian survives a failed reassembly once
+// a later one succeeds.
+func TestReassembleLaplacianRejectsBadInput(t *testing.T) {
+	edges := []WeightedEdge{{0, 1, 1}, {1, 2, 1}}
+	l, err := NewLaplacian(3, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReassembleLaplacian(l, 1, nil, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := ReassembleLaplacian(l, 3, edges, 5); err == nil {
+		t.Fatal("ground out of range accepted")
+	}
+	if _, err := ReassembleLaplacian(l, 3, []WeightedEdge{{0, 0, 1}}, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := ReassembleLaplacian(l, 3, []WeightedEdge{{0, 1, -2}}, 0); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// Recovery: a successful reassembly after failures works normally.
+	l, err = ReassembleLaplacian(l, 3, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := l.EffectiveResistance(0, 2); err != nil || !almostEq(r, 2, 1e-9) {
+		t.Fatalf("resistance after recovery = %g, %v; want 2", r, err)
+	}
+}
+
+// TestSolveWorkspaceBitIdentical checks the workspace-backed solve path
+// performs identical arithmetic: same solution bits, same ladder trace,
+// across repeated solves reusing one Workspace.
+func TestSolveWorkspaceBitIdentical(t *testing.T) {
+	lap, b := gridLaplacian(t, 12, 12)
+	var ws Workspace
+	var prev []float64
+	for round := 0; round < 3; round++ {
+		// Vary the injection a little each round so the workspace sees
+		// different values; warm-start from the previous full solution.
+		rhs := make([]float64, len(b))
+		copy(rhs, b)
+		rhs[1+round] += 0.25
+		want, wa, err := lap.SolveAttemptsCtx(context.Background(), rhs, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ga, err := lap.SolveAttemptsCtxWork(context.Background(), rhs, prev, &ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitEqualFloats(t, "solution", got, want)
+		if len(ga) != len(wa) || ga[0].Iterations != wa[0].Iterations || ga[0].Residual != wa[0].Residual {
+			t.Fatalf("round %d: traces diverge: %+v vs %+v", round, ga, wa)
+		}
+		// The workspace-backed solution aliases ws.out — copy to keep.
+		prev = append([]float64(nil), want...)
+	}
+}
+
+// TestSolveWorkspaceSteadyStateAllocs pins the point of the workspace: a
+// warmed-up repeated solve allocates only the attempts trace, not vectors.
+func TestSolveWorkspaceSteadyStateAllocs(t *testing.T) {
+	lap, b := gridLaplacian(t, 12, 12)
+	var ws Workspace
+	warm, _, err := lap.SolveAttemptsCtx(context.Background(), b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := lap.SolveAttemptsCtxWork(ctx, b, warm, &ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One slice header for the attempts append is expected; vector
+	// allocations would push this into the dozens.
+	if allocs > 4 {
+		t.Fatalf("steady-state solve allocates %.0f objects/op, want <= 4", allocs)
+	}
+}
+
+func TestBuilderResetAndBuildInto(t *testing.T) {
+	bld := NewBuilder(3)
+	bld.Add(0, 0, 2)
+	bld.Add(1, 1, 2)
+	bld.Add(2, 2, 2)
+	bld.Add(0, 1, -1)
+	bld.Add(1, 0, -1)
+	first := bld.Build()
+
+	bld.Reset(3)
+	bld.Add(0, 0, 2)
+	bld.Add(1, 1, 2)
+	bld.Add(2, 2, 2)
+	bld.Add(0, 1, -1)
+	bld.Add(1, 0, -1)
+	second := bld.BuildInto(first) // reuse first's arrays in place
+	if second != first {
+		t.Fatal("BuildInto did not return its destination")
+	}
+	bitEqualInts(t, "RowPtr", second.RowPtr, []int{0, 2, 4, 5})
+	bitEqualInts(t, "Col", second.Col, []int{0, 1, 0, 1, 2})
+	bitEqualFloats(t, "Val", second.Val, []float64{2, -1, -1, 2, 2})
+	d := second.DiagInto(nil)
+	bitEqualFloats(t, "Diag", d, []float64{2, 2, 2})
+	bitEqualFloats(t, "DiagInto reuse", second.DiagInto(d), []float64{2, 2, 2})
+}
